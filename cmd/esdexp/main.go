@@ -1,0 +1,106 @@
+// Command esdexp regenerates the paper's evaluation (§7):
+//
+//	esdexp -table1                 # Table 1: real bugs, ESD synthesis time
+//	esdexp -fig2                   # Figure 2: ESD vs KC-DFS vs KC-RandPath
+//	esdexp -fig3 -maxexp 8         # Figure 3: BPF sweep (branches 2^4..2^8)
+//	esdexp -fig4 -maxexp 8         # Figure 4: same data vs program size
+//	esdexp -ablation sqlite        # contribution of the focusing techniques
+//	esdexp -stress                 # brute-force baseline (finds nothing)
+//	esdexp -all                    # everything
+//
+// The per-search cap (-timeout) stands in for the paper's 1-hour limit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esd/internal/exp"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "run Table 1")
+		fig2     = flag.Bool("fig2", false, "run Figure 2")
+		fig3     = flag.Bool("fig3", false, "run Figure 3")
+		fig4     = flag.Bool("fig4", false, "run Figure 4")
+		ablation = flag.String("ablation", "", "run the ablation study on the named app")
+		stress   = flag.Bool("stress", false, "run the stress-testing baseline")
+		all      = flag.Bool("all", false, "run everything")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-search budget (paper: 1 hour)")
+		seed     = flag.Int64("seed", 1, "search seed")
+		maxExp   = flag.Int("maxexp", 9, "largest BPF branch exponent for figures 3/4 (paper: 11)")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Timeout: *timeout, Seed: *seed, MaxBPFExp: *maxExp}
+	fmt.Print(exp.Banner(cfg))
+
+	any := false
+	if *table1 || *all {
+		any = true
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *fig2 || *all {
+		any = true
+		rows, err := exp.Figure2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.PrintFigure2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *fig3 || *fig4 || *all {
+		any = true
+		rows, err := exp.Figure3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *fig3 || *all {
+			exp.PrintFigure3(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *fig4 || *all {
+			exp.PrintFigure4(os.Stdout, rows)
+			fmt.Println()
+		}
+	}
+	if *ablation != "" || *all {
+		any = true
+		app := *ablation
+		if app == "" {
+			app = "listing1"
+		}
+		rows, err := exp.Ablation(app, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.PrintAblation(os.Stdout, app, rows)
+		fmt.Println()
+	}
+	if *stress || *all {
+		any = true
+		rows, err := exp.Stress(200, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		exp.PrintStress(os.Stdout, rows)
+		fmt.Println()
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "esdexp: %v\n", err)
+	os.Exit(1)
+}

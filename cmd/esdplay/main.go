@@ -1,0 +1,190 @@
+// Command esdplay is the playback half of the §8 CLI:
+//
+//	esdplay -src program.c -exec execution.json [-mode strict|hb]
+//	esdplay -app sqlite -exec execution.json
+//	esdplay ... -interactive      # step/break/backtrace REPL
+//
+// It replays a synthesized execution file deterministically and reports
+// the reproduced failure. Interactive mode offers a gdb-flavoured prompt.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"esd"
+	"esd/internal/apps"
+	"esd/internal/symex"
+)
+
+func main() {
+	var (
+		srcFile  = flag.String("src", "", "MiniC source file of the program")
+		appName  = flag.String("app", "", "bundled evaluated app")
+		execFile = flag.String("exec", "execution.json", "synthesized execution file")
+		mode     = flag.String("mode", "strict", "schedule mode: strict or hb")
+		inter    = flag.Bool("interactive", false, "interactive debugger prompt")
+		maxSteps = flag.Int64("max-steps", 5_000_000, "instruction budget")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*appName, *srcFile)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(*execFile)
+	if err != nil {
+		fatal(err)
+	}
+	ex, err := esd.ExecutionFromJSON(data)
+	if err != nil {
+		fatal(err)
+	}
+	var pm esd.PlayMode
+	switch *mode {
+	case "strict":
+		pm = esd.Strict
+	case "hb":
+		pm = esd.HappensBefore
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+	player, err := esd.NewPlayer(prog, ex, pm)
+	if err != nil {
+		fatal(err)
+	}
+	player.OnPrint = func(v symex.Value) { fmt.Printf("[program output] %s\n", v) }
+
+	if *inter {
+		repl(player, *maxSteps)
+		return
+	}
+	final, err := player.Run(*maxSteps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(player.Describe())
+	if final.Status == symex.StateExited {
+		fmt.Println("warning: playback exited cleanly — execution file may not match this binary")
+		os.Exit(2)
+	}
+}
+
+func repl(p *esd.Player, maxSteps int64) {
+	fmt.Println("esdplay interactive mode. Commands: step [n], continue, break <file> <line>,")
+	fmt.Println("  bt, threads, print <global>, where, run, quit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(esd) ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit":
+			return
+		case "s", "step":
+			n := int64(1)
+			if len(fields) > 1 {
+				if v, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					n = v
+				}
+			}
+			for i := int64(0); i < n && !p.Done(); i++ {
+				if err := p.StepInstr(); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			}
+			fmt.Println(p.Where())
+		case "c", "continue":
+			hit, err := p.Continue(maxSteps)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if hit {
+				fmt.Println("breakpoint:", p.Where())
+			} else {
+				fmt.Println(p.Describe())
+			}
+		case "b", "break":
+			if len(fields) != 3 {
+				fmt.Println("usage: break <file> <line>")
+				continue
+			}
+			line, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("bad line:", fields[2])
+				continue
+			}
+			p.AddBreakpoint(fields[1], line)
+			fmt.Printf("breakpoint at %s:%d\n", fields[1], line)
+		case "bt":
+			for _, l := range p.Backtrace() {
+				fmt.Println(l)
+			}
+		case "threads":
+			for _, l := range p.ThreadsSummary() {
+				fmt.Println(l)
+			}
+		case "print", "p":
+			if len(fields) != 2 {
+				fmt.Println("usage: print <global>")
+				continue
+			}
+			cells, err := p.ReadGlobal(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%s = %v\n", fields[1], cells)
+		case "where", "w":
+			fmt.Println(p.Where())
+		case "run", "r":
+			if _, err := p.Run(maxSteps); err != nil {
+				fmt.Println("error:", err)
+			}
+			fmt.Println(p.Describe())
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+		if p.Done() {
+			fmt.Println(p.Describe())
+		}
+	}
+}
+
+func loadProgram(appName, srcFile string) (*esd.Program, error) {
+	if appName != "" {
+		a := apps.Get(appName)
+		if a == nil {
+			return nil, fmt.Errorf("unknown app %q", appName)
+		}
+		m, err := a.Program()
+		if err != nil {
+			return nil, err
+		}
+		return &esd.Program{MIR: m}, nil
+	}
+	if srcFile == "" {
+		return nil, fmt.Errorf("need -src or -app")
+	}
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		return nil, err
+	}
+	return esd.CompileMiniC(srcFile, string(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "esdplay: %v\n", err)
+	os.Exit(1)
+}

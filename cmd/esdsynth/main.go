@@ -1,0 +1,154 @@
+// Command esdsynth is the developer-facing synthesis CLI of §8:
+//
+//	esdsynth -core coredump.json -src program.c [-crash|-deadlock|-race]
+//	         [-o exec.json] [-strategy esd|dfs|randpath] [-timeout 60s]
+//	esdsynth -app sqlite [-o exec.json]     # run on a bundled evaluated app
+//
+// It reads the coredump, synthesizes an execution that reproduces the
+// reported bug, and writes the synthesized execution file for esdplay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esd"
+	"esd/internal/apps"
+	"esd/internal/report"
+)
+
+func main() {
+	var (
+		coreFile = flag.String("core", "", "coredump (bug report) JSON file")
+		srcFile  = flag.String("src", "", "MiniC source file of the program")
+		appName  = flag.String("app", "", "bundled evaluated app (e.g. sqlite, ghttpd, listing1)")
+		outFile  = flag.String("o", "execution.json", "output synthesized execution file")
+		strategy = flag.String("strategy", "esd", "search strategy: esd, dfs, randpath")
+		timeout  = flag.Duration("timeout", 60*time.Second, "synthesis time budget")
+		seed     = flag.Int64("seed", 1, "search randomness seed")
+		kindHint = flag.String("kind", "", "bug kind hint: crash, deadlock, race (overrides coredump)")
+		raceDet  = flag.Bool("with-race-det", false, "enable data-race detection during synthesis")
+		bound    = flag.Int("preemption-bound", 0, "use Chess-style preemption bounding (KC baseline)")
+	)
+	flag.Parse()
+
+	prog, rep, err := loadTarget(*appName, *srcFile, *coreFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *kindHint != "" {
+		switch *kindHint {
+		case "crash":
+			rep.R.Kind = report.KindCrash
+		case "deadlock":
+			rep.R.Kind = report.KindDeadlock
+		case "race":
+			rep.R.Kind = report.KindRace
+		default:
+			fatal(fmt.Errorf("unknown -kind %q", *kindHint))
+		}
+	}
+
+	var strat esd.Strategy
+	switch *strategy {
+	case "esd":
+		strat = esd.ESD
+	case "dfs":
+		strat = esd.DFS
+	case "randpath":
+		strat = esd.RandomPath
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+
+	fmt.Printf("esdsynth: synthesizing %s bug (%s strategy, %s budget)\n", rep.R.Kind, strat, timeout)
+	fmt.Print(rep.String())
+
+	res, err := esd.Synthesize(prog, rep, esd.Options{
+		Strategy:         strat,
+		Timeout:          *timeout,
+		Seed:             *seed,
+		WithRaceDetector: *raceDet,
+		PreemptionBound:  *bound,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("search: %.2fs, %d instructions, %d states, %d solver queries\n",
+		res.Stats.Duration.Seconds(), res.Stats.Steps, res.Stats.States, res.Stats.SolverQueries)
+	for _, b := range res.OtherBugs {
+		fmt.Printf("note: different bug discovered during search: %s\n", b)
+	}
+	if !res.Found {
+		if res.TimedOut {
+			fatal(fmt.Errorf("no execution synthesized within the time budget"))
+		}
+		fatal(fmt.Errorf("search space exhausted without reproducing the bug"))
+	}
+	data, err := res.Execution.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synthesized execution written to %s\n", *outFile)
+	fmt.Print(res.Execution.String())
+	fmt.Printf("play it back with: esdplay -src <program.c> -exec %s\n", *outFile)
+}
+
+func loadTarget(appName, srcFile, coreFile string) (*esd.Program, *esd.BugReport, error) {
+	if appName != "" {
+		a := apps.Get(appName)
+		if a == nil {
+			return nil, nil, fmt.Errorf("unknown app %q; available: %s", appName, appList())
+		}
+		m, err := a.Program()
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := a.Coredump()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &esd.Program{MIR: m}, &esd.BugReport{R: r}, nil
+	}
+	if srcFile == "" || coreFile == "" {
+		return nil, nil, fmt.Errorf("need -src and -core (or -app); see -h")
+	}
+	src, err := os.ReadFile(srcFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := esd.CompileMiniC(srcFile, string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	core, err := os.ReadFile(coreFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := esd.ReportFromJSON(core)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, rep, nil
+}
+
+func appList() string {
+	s := ""
+	for i, a := range apps.All() {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.Name
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "esdsynth: %v\n", err)
+	os.Exit(1)
+}

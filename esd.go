@@ -1,0 +1,234 @@
+// Package esd is an execution-synthesis debugger: given a program and a
+// bug report (coredump), it automatically synthesizes an execution —
+// concrete inputs plus a thread schedule — that deterministically
+// reproduces the reported bug, and plays that execution back under a
+// debugger-style interface.
+//
+// It is a from-scratch Go implementation of "Execution Synthesis: A
+// Technique for Automated Software Debugging" (Zamfir & Candea, EuroSys
+// 2010). Programs are written in MiniC (a C-like language with POSIX-style
+// threads) and compiled to the MIR intermediate representation; synthesis
+// combines static analysis (critical edges, intermediate goals) with
+// proximity-guided multi-threaded symbolic execution.
+//
+// Typical use:
+//
+//	prog, _ := esd.CompileMiniC("app.c", source)
+//	rep, _  := esd.ReportFromJSON(coredumpJSON)
+//	res, _  := esd.Synthesize(prog, rep, esd.Options{})
+//	player, _ := esd.NewPlayer(prog, res.Execution, esd.Strict)
+//	final, _  := player.Run(1e6)   // deterministically reproduces the bug
+package esd
+
+import (
+	"fmt"
+	"time"
+
+	"esd/internal/lang"
+	"esd/internal/mir"
+	"esd/internal/replay"
+	"esd/internal/report"
+	"esd/internal/search"
+	"esd/internal/solver"
+	"esd/internal/symex"
+	"esd/internal/trace"
+	"esd/internal/usersite"
+)
+
+// Program is a compiled MiniC program.
+type Program struct {
+	MIR *mir.Program
+}
+
+// CompileMiniC compiles MiniC source to a verified program.
+func CompileMiniC(filename, source string) (*Program, error) {
+	p, err := lang.Compile(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{MIR: p}, nil
+}
+
+// Dump renders the program's intermediate representation.
+func (p *Program) Dump() string { return p.MIR.String() }
+
+// NumInstrs returns the program's instruction count.
+func (p *Program) NumInstrs() int { return p.MIR.NumInstrs() }
+
+// BugReport is a coredump-derived bug report (the input to synthesis).
+type BugReport struct {
+	R *report.Report
+}
+
+// ReportFromJSON parses a coredump file.
+func ReportFromJSON(data []byte) (*BugReport, error) {
+	r, err := report.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &BugReport{R: r}, nil
+}
+
+// JSON serializes the report.
+func (b *BugReport) JSON() ([]byte, error) { return b.R.Encode() }
+
+// String renders the report.
+func (b *BugReport) String() string { return b.R.String() }
+
+// Strategy selects the search strategy.
+type Strategy = search.Strategy
+
+// Search strategies: ESD's guided search and the KC baselines of §7.2.
+const (
+	ESD        = search.StrategyESD
+	DFS        = search.StrategyDFS
+	RandomPath = search.StrategyRandomPath
+)
+
+// Options tunes synthesis. The zero value asks for ESD's guided search
+// with a 10-minute budget.
+type Options struct {
+	Strategy Strategy
+	Timeout  time.Duration
+	// Seed makes runs deterministic.
+	Seed int64
+	// PreemptionBound switches to Chess-style bounded schedule search
+	// (the KC baseline) when > 0.
+	PreemptionBound int
+	// WithRaceDetector enables Eraser-style race detection during
+	// synthesis (finds race-triggered bugs and flags preemption points).
+	WithRaceDetector bool
+	// Ablations (see DESIGN.md §4).
+	NoProximity         bool
+	NoIntermediateGoals bool
+	NoCriticalEdges     bool
+}
+
+// Result is a successful or failed synthesis.
+type Result struct {
+	// Execution is the synthesized execution file (nil if not found).
+	Execution *Execution
+	// Found reports success.
+	Found bool
+	// TimedOut distinguishes budget exhaustion from space exhaustion.
+	TimedOut bool
+	// Stats summarizes the search effort.
+	Stats Stats
+	// OtherBugs are failures found that do not match the report.
+	OtherBugs []string
+}
+
+// Stats summarizes search effort.
+type Stats struct {
+	Duration      time.Duration
+	Steps         int64
+	States        int64
+	BranchForks   int64
+	SolverQueries int
+}
+
+// Synthesize searches for an execution of prog that reproduces rep.
+func Synthesize(prog *Program, rep *BugReport, opt Options) (*Result, error) {
+	if opt.Timeout == 0 {
+		opt.Timeout = 10 * time.Minute
+	}
+	res, err := search.Synthesize(prog.MIR, rep.R, search.Options{
+		Strategy:            opt.Strategy,
+		Timeout:             opt.Timeout,
+		Seed:                opt.Seed,
+		PreemptionBound:     opt.PreemptionBound,
+		WithRaceDetector:    opt.WithRaceDetector,
+		NoProximity:         opt.NoProximity,
+		NoIntermediateGoals: opt.NoIntermediateGoals,
+		NoCriticalEdges:     opt.NoCriticalEdges,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		TimedOut:  res.TimedOut,
+		OtherBugs: res.OtherBugs,
+		Stats: Stats{
+			Duration:      res.Duration,
+			Steps:         res.Steps,
+			States:        res.StatesCreated,
+			BranchForks:   res.BranchForks,
+			SolverQueries: res.SolverQueries,
+		},
+	}
+	if res.Found != nil {
+		ex, err := trace.FromState(res.Found, solver.New())
+		if err != nil {
+			return nil, fmt.Errorf("esd: solving synthesized path: %w", err)
+		}
+		out.Execution = &Execution{E: ex}
+		out.Found = true
+	}
+	return out, nil
+}
+
+// Execution is a synthesized execution file (§5.1).
+type Execution struct {
+	E *trace.Execution
+}
+
+// ExecutionFromJSON parses an execution file.
+func ExecutionFromJSON(data []byte) (*Execution, error) {
+	ex, err := trace.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{E: ex}, nil
+}
+
+// JSON serializes the execution file.
+func (e *Execution) JSON() ([]byte, error) { return e.E.Encode() }
+
+// String summarizes the execution.
+func (e *Execution) String() string { return e.E.String() }
+
+// SameBug reports whether two synthesized executions reproduce the same
+// bug — the automated triage/deduplication check (§8).
+func (e *Execution) SameBug(o *Execution) bool { return e.E.Equal(o.E) }
+
+// PlayMode selects schedule enforcement during playback.
+type PlayMode = replay.Mode
+
+// Playback modes (§5.1): Strict replays the exact serial schedule;
+// HappensBefore enforces only the synchronization order.
+const (
+	Strict        = replay.Strict
+	HappensBefore = replay.HappensBefore
+)
+
+// Player replays an execution deterministically with debugger affordances
+// (breakpoints, stepping, backtraces).
+type Player = replay.Player
+
+// NewPlayer prepares playback of ex over prog.
+func NewPlayer(prog *Program, ex *Execution, mode PlayMode) (*Player, error) {
+	return replay.NewPlayer(prog.MIR, ex.E, mode)
+}
+
+// UserInputs are concrete inputs for a user-site run.
+type UserInputs = usersite.Inputs
+
+// SimulateUserSite runs prog natively (concrete inputs, randomly preempting
+// scheduler) until the bug manifests, and returns the coredump-derived bug
+// report — the starting point of the whole workflow.
+func SimulateUserSite(prog *Program, in *UserInputs) (*BugReport, error) {
+	rep, err := usersite.CoredumpFor(prog.MIR, in, usersite.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &BugReport{R: rep}, nil
+}
+
+// ReportFromFailure converts a failed concrete run into a bug report.
+func ReportFromFailure(st *symex.State) (*BugReport, error) {
+	r, err := report.FromState(st)
+	if err != nil {
+		return nil, err
+	}
+	return &BugReport{R: r}, nil
+}

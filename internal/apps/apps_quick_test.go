@@ -1,0 +1,32 @@
+package apps
+
+import (
+	"testing"
+)
+
+// TestAllAppsCompileAndFail checks every registered app compiles and that
+// the user site reproduces the intended failure class.
+func TestAllAppsCompileAndFail(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			prog, err := a.Program()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			rep, err := a.Coredump()
+			if err != nil {
+				t.Fatalf("coredump: %v", err)
+			}
+			if rep.Kind != a.Kind {
+				t.Fatalf("kind = %v, want %v", rep.Kind, a.Kind)
+			}
+			if len(rep.Goals()) == 0 {
+				t.Fatal("report has no goals")
+			}
+		})
+	}
+}

@@ -1,0 +1,597 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// The five UNIX-utility bugs of §7.1 (originally found by Klee [6]): an
+// invalid free in paste, a segfault in tac, and error-handling-path
+// segfaults in mkdir, mknod, and mkfifo. Each model keeps the published
+// mechanism and, like the real coreutils binaries, wraps it in a getopt-
+// style option loop and argument processing — the input-dependent branch
+// space that makes undirected search expensive (§7.2: KC found none of
+// these within an hour).
+
+const pasteSrc = `
+// paste.c — merge lines of files, with -d DELIM and -s (serial) handling.
+
+int opt_serial;       // -s
+int opt_delims;       // -d
+int opt_zero;         // -z (NUL line terminator)
+int opt_tabs;         // default tab mode
+int delim_cells;
+int out[64];
+int out_len;
+int files_seen;
+int lines_merged;
+
+// getopt-style scan over a 4-cell option vector.
+int parse_opts(int o1, int o2, int o3, int o4) {
+	opt_serial = 0; opt_delims = 0; opt_zero = 0; opt_tabs = 1;
+	int opts[4];
+	opts[0] = o1; opts[1] = o2; opts[2] = o3; opts[3] = o4;
+	for (int i = 0; i < 4; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 's') { opt_serial = 1; }
+		else if (o == 'd') { opt_delims = 1; opt_tabs = 0; }
+		else if (o == 'z') { opt_zero = 1; }
+		else if (o == 'q') { opt_tabs = 1; }
+		else { return -1; }
+	}
+	return 0;
+}
+
+int emit(int c) {
+	if (out_len < 64) {
+		out[out_len] = c;
+		out_len++;
+	}
+	return out_len;
+}
+
+// collapse_escapes walks the delimiter string, advancing the cursor past
+// backslash escapes. It returns the advanced cursor — the bug's seed: the
+// cleanup path later frees the advanced pointer, not the base.
+int *collapse_escapes(int *d) {
+	int *p = d;
+	while (*p != 0) {
+		if (*p == '\\') {
+			p = p + 1;
+			if (*p == 'n') { *p = '\n'; }
+			if (*p == 't') { *p = '\t'; }
+			if (*p == '0') { *p = 0; }
+			if (*p == 0) { break; }
+		}
+		p = p + 1;
+		delim_cells++;
+	}
+	return p;
+}
+
+int paste_serial(int *delims, int ndel) {
+	int col = 0;
+	int c = getchar();
+	while (c != -1) {
+		int term = '\n';
+		if (opt_zero) { term = 0; }
+		if (c == term) {
+			if (ndel > 0) {
+				emit(delims[col % ndel]);
+				col++;
+			}
+			lines_merged++;
+		} else {
+			emit(c);
+		}
+		c = getchar();
+	}
+	return col;
+}
+
+int paste_parallel() {
+	int c = getchar();
+	int cols = 0;
+	while (c != -1) {
+		if (c == '\n') {
+			emit('\t');
+			cols++;
+		} else {
+			emit(c);
+		}
+		c = getchar();
+	}
+	return cols;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int o3 = input("opt3");
+	int o4 = input("opt4");
+	int dlen = input("delim_len");
+	int nfiles = input("nfiles");
+
+	if (parse_opts(o1, o2, o3, o4) < 0) {
+		return 2;               // usage error
+	}
+	if (nfiles < 1) { nfiles = 1; }
+	if (nfiles > 4) { nfiles = 4; }
+	files_seen = nfiles;
+
+	if (!opt_delims) {
+		paste_parallel();       // tab mode: no delimiter buffer at all
+		return out_len;
+	}
+	if (dlen < 1 || dlen > 8) {
+		dlen = 1;
+	}
+	int *delim = malloc(dlen + 1);
+	for (int i = 0; i < dlen; i++) {
+		int c = input("delim_char");
+		if (c == 0) { c = '\\'; }
+		delim[i] = c;
+	}
+	delim[dlen] = 0;
+	delim_cells = 0;
+	int *end = collapse_escapes(delim);
+	int cols = 0;
+	if (opt_serial == 1) {
+		cols = paste_serial(delim, delim_cells);
+	} else {
+		cols = paste_parallel();
+	}
+	// Cleanup: when the delimiter string ended in a backslash escape the
+	// cursor returned by collapse_escapes is freed instead of the base
+	// pointer — an invalid free (the real paste bug's shape).
+	if (*end == 0 && end - delim > 0) {
+		free(end);              // <-- invalid free: interior pointer
+	} else {
+		free(delim);
+	}
+	return cols;
+}`
+
+const tacSrc = `
+// tac.c — print records (default: lines) in reverse order, with -b/-r/-s.
+
+int opt_before;       // -b: separator attaches before the record
+int opt_regex;        // -r: separator is a pattern
+int opt_sep;          // -s SEP given
+int buf[64];
+int n_read;
+int out[64];
+int out_len;
+int records;
+
+int parse_opts(int o1, int o2, int o3) {
+	opt_before = 0; opt_regex = 0; opt_sep = 0;
+	int opts[3];
+	opts[0] = o1; opts[1] = o2; opts[2] = o3;
+	for (int i = 0; i < 3; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 'b') { opt_before = 1; }
+		else if (o == 'r') { opt_regex = 1; }
+		else if (o == 's') { opt_sep = 1; }
+		else { return -1; }
+	}
+	return 0;
+}
+
+int read_all() {
+	n_read = 0;
+	int c = getchar();
+	while (c != -1 && n_read < 63) {
+		buf[n_read] = c;
+		n_read++;
+		c = getchar();
+	}
+	buf[n_read] = 0;
+	return n_read;
+}
+
+int emit(int c) {
+	if (out_len < 64) {
+		out[out_len] = c;
+		out_len++;
+	}
+	return out_len;
+}
+
+int emit_record(int from, int to) {
+	for (int i = from; i < to; i++) {
+		emit(buf[i]);
+	}
+	records++;
+	return to - from;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int o3 = input("opt3");
+	int sep = input("separator");
+
+	if (parse_opts(o1, o2, o3) < 0) {
+		return 2;
+	}
+	if (!opt_sep || sep <= 0 || sep > 255) {
+		sep = '\n';
+	}
+	read_all();
+	if (n_read == 0) {
+		return 0;
+	}
+	// Scan backward for separators; emit records in reverse. The -b
+	// (attach-before) variant skips runs of separators with a scan that is
+	// missing the start-of-buffer guard — the tac segfault: when the FIRST
+	// character is a separator the inner loop walks past buf[0].
+	int end = n_read;
+	int i = n_read - 1;
+	while (i >= 0) {
+		if (buf[i] == sep) {
+			if (opt_before) {
+				emit_record(i, end);
+				end = i;
+				i--;
+				while (buf[i] == sep && i > -64) {   // <-- reads buf[-1]
+					i--;
+				}
+			} else {
+				emit_record(i + 1, end);
+				emit(sep);
+				end = i;
+				i--;
+			}
+		} else {
+			i--;
+		}
+	}
+	emit_record(0, end);
+	return out_len;
+}`
+
+const mkdirSrc = `
+// mkdir.c — make directories, with -m MODE, -p (parents) and -v handling.
+
+int opt_parents;      // -p
+int opt_verbose;      // -v
+int opt_mode;         // -m MODE given
+int mode_bits[4];     // parsed mode structure storage
+int have_mode;
+int created;
+int umask_saved;
+
+int parse_opts(int o1, int o2, int o3, int o4) {
+	opt_parents = 0; opt_verbose = 0; opt_mode = 0;
+	int opts[4];
+	opts[0] = o1; opts[1] = o2; opts[2] = o3; opts[3] = o4;
+	for (int i = 0; i < 4; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 'p') { opt_parents = 1; }
+		else if (o == 'v') { opt_verbose = 1; }
+		else if (o == 'm') { opt_mode = 1; }
+		else { return -1; }
+	}
+	return 0;
+}
+
+// parse_mode parses a symbolic mode like "u+x". Returns a pointer to the
+// parsed structure, or NULL (0) for an invalid mode string.
+int *parse_mode(int who, int op, int perm) {
+	if (who != 'u' && who != 'g' && who != 'o' && who != 'a') {
+		return 0;
+	}
+	if (op != '+' && op != '-' && op != '=') {
+		return 0;
+	}
+	if (perm != 'r' && perm != 'w' && perm != 'x') {
+		return 0;
+	}
+	mode_bits[0] = who;
+	mode_bits[1] = op;
+	mode_bits[2] = perm;
+	mode_bits[3] = 1;
+	have_mode = 1;
+	return mode_bits;
+}
+
+// split_path walks the path components for -p.
+int split_path(int name_hash, int depth) {
+	int made = 0;
+	int h = name_hash;
+	for (int i = 0; i < depth; i++) {
+		if (h == 0) { break; }
+		made++;
+		h = h - 7;
+	}
+	return made;
+}
+
+int make_dir(int name_hash, int *mode) {
+	if (name_hash == 0) {
+		return -1;              // mkdir(2) failed
+	}
+	created++;
+	if (mode[3] == 1) {         // apply the parsed mode
+		return 1;
+	}
+	return 0;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int o3 = input("opt3");
+	int o4 = input("opt4");
+	int who = input("mode_who");
+	int op = input("mode_op");
+	int perm = input("mode_perm");
+	int name = input("name_hash");
+	int depth = input("depth");
+
+	if (parse_opts(o1, o2, o3, o4) < 0) {
+		return 2;
+	}
+	umask_saved = 18;           // 022
+
+	int *mode = mode_bits;
+	mode_bits[3] = 0;
+	if (opt_mode) {
+		mode = parse_mode(who, op, perm);
+		// BUG: the -m error path restores the umask through the (NULL)
+		// mode pointer before reporting — segfault for any invalid mode
+		// string (the real mkdir bug: error-handling paths only).
+		if (mode == 0) {
+			int saved = mode[0];    // <-- NULL dereference
+			return saved;
+		}
+	}
+	if (opt_parents) {
+		if (depth < 1) { depth = 1; }
+		if (depth > 4) { depth = 4; }
+		split_path(name, depth);
+		for (int i = 0; i < depth; i++) {
+			make_dir(name + i, mode);
+		}
+	} else {
+		make_dir(name, mode);
+	}
+	if (opt_verbose) {
+		print(created);
+	}
+	return created;
+}`
+
+const mknodSrc = `
+// mknod.c — make block/char special files, with -m and -Z handling.
+
+int opt_mode;         // -m
+int opt_context;      // -Z
+int mode_store[4];
+int nodes;
+
+int parse_opts(int o1, int o2, int o3) {
+	opt_mode = 0; opt_context = 0;
+	int opts[3];
+	opts[0] = o1; opts[1] = o2; opts[2] = o3;
+	for (int i = 0; i < 3; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 'm') { opt_mode = 1; }
+		else if (o == 'Z') { opt_context = 1; }
+		else { return -1; }
+	}
+	return 0;
+}
+
+int *parse_type(int c) {
+	if (c == 'b' || c == 'c' || c == 'u' || c == 'p') {
+		mode_store[0] = c;
+		mode_store[3] = 1;
+		return mode_store;
+	}
+	return 0;
+}
+
+int check_majmin(int type, int major, int minor) {
+	if (type == 'p') {
+		// FIFOs take no device numbers.
+		if (major != 0 || minor != 0) { return -1; }
+		return 0;
+	}
+	if (major < 0 || major > 255) {
+		return -1;
+	}
+	if (minor < 0 || minor > 255) {
+		return -1;
+	}
+	return 0;
+}
+
+int make_node(int type, int major, int minor) {
+	nodes++;
+	return type + major + minor;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int o3 = input("opt3");
+	int type = input("node_type");
+	int major = input("major");
+	int minor = input("minor");
+
+	if (parse_opts(o1, o2, o3) < 0) {
+		return 2;
+	}
+	int *mode = parse_type(type);
+	if (check_majmin(type, major, minor) < 0) {
+		// Error path: report which type failed — but for an invalid type
+		// the mode structure is NULL. Both errors must coincide (the real
+		// mknod bug needs the double error).
+		return mode[0];          // <-- NULL dereference
+	}
+	if (mode == 0) {
+		return 1;                // invalid type alone is handled correctly
+	}
+	if (mode[0] == 'b' || mode[0] == 'c') {
+		make_node(mode[0], major, minor);
+	} else {
+		make_node(mode[0], 0, 0);
+	}
+	if (opt_context) {
+		nodes = nodes + 0;       // relabeling is a no-op in the model
+	}
+	return nodes;
+}`
+
+const mkfifoSrc = `
+// mkfifo.c — make FIFOs, with -m MODE handling.
+
+int opt_mode;          // -m
+int opt_context;       // -Z
+int mode_cells[2];
+int fifos;
+
+int parse_opts(int o1, int o2) {
+	opt_mode = 0; opt_context = 0;
+	int opts[2];
+	opts[0] = o1; opts[1] = o2;
+	for (int i = 0; i < 2; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 'm') { opt_mode = 1; }
+		else if (o == 'Z') { opt_context = 1; }
+		else { return -1; }
+	}
+	return 0;
+}
+
+int *parse_perm(int perm) {
+	if (perm >= 0 && perm <= 511) {
+		mode_cells[0] = perm;
+		mode_cells[1] = 1;
+		return mode_cells;
+	}
+	return 0;
+}
+
+int make_fifo(int name_hash, int perm) {
+	if (name_hash == 0) {
+		return -1;
+	}
+	fifos++;
+	return perm;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int perm = input("perm");
+	int name = input("name_hash");
+
+	if (parse_opts(o1, o2) < 0) {
+		return 2;
+	}
+	int *mode = mode_cells;
+	mode_cells[1] = 0;
+	if (opt_mode) {
+		mode = parse_perm(perm);
+	}
+	int r = make_fifo(name, perm);
+	if (r < 0) {
+		// Error path: restore the pre-umask mode — NULL when -m was given
+		// an invalid permission. Both errors must coincide, like the real
+		// bug.
+		return mode[0];          // <-- NULL dereference
+	}
+	if (mode == 0) {
+		return 1;
+	}
+	return fifos;
+}`
+
+var pasteApp = register(&App{
+	Name:          "paste",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        pasteSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{
+			"opt1": 's', "opt2": 'd', "opt3": 0, "opt4": 0,
+			"delim_len": 2, "delim_char": '\\', "nfiles": 2,
+		},
+		Stdin: stdinBytes("ab\ncd\n"),
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "paste: invalid free — cleanup frees the cursor advanced " +
+		"through the delimiter list instead of the allocation base, for " +
+		"-s -d with a delimiter string ending in a backslash escape.",
+})
+
+var tacApp = register(&App{
+	Name:          "tac",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        tacSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{"opt1": 'b', "opt2": 's', "opt3": 0, "separator": ':'},
+		Stdin: stdinBytes(":one:two"),
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "tac: segfault — with -b the separator-run scan walks past " +
+		"the start of the buffer when the input begins with the separator.",
+})
+
+var mkdirApp = register(&App{
+	Name:          "mkdir",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        mkdirSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{
+			"opt1": 'm', "opt2": 'p', "opt3": 0, "opt4": 0,
+			"mode_who": 'z', "mode_op": '+', "mode_perm": 'x',
+			"name_hash": 5, "depth": 2,
+		},
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "mkdir: segfault on the error-handling path — -m with an " +
+		"invalid symbolic mode makes parse_mode return NULL, which the " +
+		"error path dereferences.",
+})
+
+var mknodApp = register(&App{
+	Name:          "mknod",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        mknodSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{
+			"opt1": 'm', "opt2": 0, "opt3": 0,
+			"node_type": 'x', "major": 999, "minor": 3,
+		},
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "mknod: segfault on the error-handling path — invalid node " +
+		"type plus out-of-range major/minor dereferences a NULL mode.",
+})
+
+var mkfifoApp = register(&App{
+	Name:          "mkfifo",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        mkfifoSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{
+			"opt1": 'm', "opt2": 0, "perm": 1000, "name_hash": 0,
+		},
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "mkfifo: segfault on the error-handling path — mkfifo(2) " +
+		"failure plus an invalid -m permission dereferences a NULL mode.",
+})

@@ -1,0 +1,133 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// ghttpdSrc models the ghttpd 1.4 security vulnerability (SecurityFocus
+// BID 5960): serveconnection() passes the request URL to the Log()
+// function, which vsprintf's it into a fixed-size stack buffer with no
+// bounds check — a GET with a long URL overflows the buffer (§7.1). The
+// buffer is scaled from 200 bytes to 16 cells so the synthesized URL stays
+// small; the mechanism (unchecked copy of attacker-controlled input on the
+// logging path) is identical.
+const ghttpdSrc = `
+// ghttpd.c — scaled model of the ghttpd Web server's request path.
+
+int req_method[8];
+int req_url[32];
+int url_len;
+int req_ver;
+int served;
+int log_lines;
+
+// read_token reads stdin into dst until the terminator, with bounds checks
+// (the *parser* is careful — the bug is downstream, in logging). Tokens
+// longer than the destination are rejected, like ghttpd's request reader.
+int read_token(int *dst, int cap, int term) {
+	int n = 0;
+	int c = getchar();
+	while (c != term && c != -1 && c != '\n') {
+		if (n >= cap - 1) {
+			return -1;
+		}
+		dst[n] = c;
+		n++;
+		c = getchar();
+	}
+	dst[n] = 0;
+	return n;
+}
+
+int parse_request() {
+	int m = read_token(req_method, 8, ' ');
+	if (m <= 0) {
+		return -1;
+	}
+	url_len = read_token(req_url, 32, ' ');
+	if (url_len <= 0) {
+		return -1;
+	}
+	req_ver = getchar();
+	return 0;
+}
+
+int is_get() {
+	if (req_method[0] == 'G' && req_method[1] == 'E' && req_method[2] == 'T') {
+		return 1;
+	}
+	return 0;
+}
+
+// do_log formats "<ip> <url>" into a fixed 16-cell line buffer. The copy
+// loop trusts url_len — the vsprintf overflow.
+int do_log(int ip) {
+	int line[16];
+	line[0] = '0' + ip % 10;
+	line[1] = ' ';
+	int pos = 2;
+	for (int i = 0; i < url_len; i++) {
+		line[pos] = req_url[i];   // <-- overflow: pos not bounded by 16
+		pos++;
+	}
+	line[pos] = 0;
+	log_lines++;
+	return line[0];
+}
+
+int send_response(int code) {
+	int body = 0;
+	for (int i = 0; i < 4; i++) {
+		body = body * 10 + code % 10;
+	}
+	served++;
+	return body;
+}
+
+int serveconnection(int ip) {
+	if (parse_request() < 0) {
+		send_response(400);
+		return -1;
+	}
+	if (!is_get()) {
+		send_response(501);
+		return -1;
+	}
+	do_log(ip);
+	send_response(200);
+	return 0;
+}
+
+int main() {
+	int conns = 0;
+	int r = serveconnection(7);
+	if (r == 0) {
+		conns++;
+	}
+	return conns;
+}`
+
+var ghttpdApp = register(&App{
+	Name:          "ghttpd",
+	Manifestation: "crash",
+	Kind:          report.KindCrash,
+	Source:        ghttpdSrc,
+	UserInputs: &usersite.Inputs{
+		// "GET /cgi-bin/aaaaaaaaaaaaaaaaaaaa HTTP/1.0" — URL long enough to
+		// overflow the 16-cell log line.
+		Stdin: stdinBytes("GET /cgi-bin/aaaaaaaaaaaaaaaaaaaa H"),
+	},
+	Usersite: usersite.Options{Seeds: 4},
+	Description: "ghttpd 1.4 (BID 5960): buffer overflow in the Log() " +
+		"function when writing the GET request URL to the log.",
+})
+
+// stdinBytes converts a string to getchar() byte values.
+func stdinBytes(s string) []int64 {
+	out := make([]int64, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = int64(s[i])
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// hawknlSrc models the HawkNL 1.6b3 hang: nlClose() takes the per-socket
+// lock and then the global library lock, while nlShutdown() takes the
+// global lock and then walks the socket table taking per-socket locks.
+// Two threads calling nlClose and nlShutdown concurrently on the same open
+// socket deadlock (§7.1).
+const hawknlSrc = `
+// hawknl.c — scaled model of HawkNL 1.6b3 (network library for games).
+
+int nl_global;          // library-wide lock
+int sock_locks[8];      // per-socket locks
+int sock_open[8];
+int sock_buf[8];
+int sock_pending[8];
+int nl_inited;
+int n_open;
+
+int nl_init() {
+	nl_inited = 1;
+	for (int i = 0; i < 8; i++) {
+		sock_open[i] = 0;
+		sock_pending[i] = 0;
+	}
+	n_open = 0;
+	return 0;
+}
+
+int sock_state[8];      // 0=closed 1=open 2=connected
+int sock_proto[8];      // NL_TCP / NL_UDP
+
+int nl_open(int s, int proto) {
+	if (!nl_inited || s < 0 || s >= 8) {
+		return -1;
+	}
+	if (proto != 6 && proto != 17) {     // NL_TCP=6, NL_UDP=17
+		return -1;
+	}
+	lock(&nl_global);
+	if (sock_open[s]) {
+		unlock(&nl_global);
+		return -1;
+	}
+	sock_open[s] = 1;
+	sock_state[s] = 1;
+	sock_proto[s] = proto;
+	n_open++;
+	unlock(&nl_global);
+	return s;
+}
+
+// nl_connect completes the handshake: only connected TCP sockets carry
+// pending writes through nl_close's slow path.
+int nl_connect(int s, int port) {
+	if (s < 0 || s >= 8 || !sock_open[s]) {
+		return -1;
+	}
+	if (port <= 0 || port > 65535) {
+		return -1;
+	}
+	if (sock_proto[s] != 6) {
+		return -1;                        // UDP does not connect
+	}
+	lock(&sock_locks[s]);
+	sock_state[s] = 2;
+	unlock(&sock_locks[s]);
+	return 0;
+}
+
+int nl_write(int s, int v) {
+	if (s < 0 || s >= 8) {
+		return -1;
+	}
+	lock(&sock_locks[s]);
+	if (sock_open[s]) {
+		sock_buf[s] = v;
+		sock_pending[s]++;
+	}
+	unlock(&sock_locks[s]);
+	return 0;
+}
+
+// nlClose: per-socket lock FIRST, then the global lock to update the
+// library socket table (the buggy order). The global lock is only needed
+// on the slow path — a connected socket with pending writes — which is
+// why casual testing never hit the inversion.
+int nl_close(int s) {
+	if (s < 0 || s >= 8) {
+		return -1;
+	}
+	lock(&sock_locks[s]);
+	if (!sock_open[s]) {
+		unlock(&sock_locks[s]);
+		return -1;
+	}
+	if (sock_state[s] == 2 && sock_pending[s] > 0) {
+		sock_pending[s] = 0;
+		lock(&nl_global);         // <-- blocks here in the hang
+		sock_open[s] = 0;
+		sock_state[s] = 0;
+		n_open--;
+		unlock(&nl_global);
+	} else {
+		sock_open[s] = 0;
+		sock_state[s] = 0;
+	}
+	unlock(&sock_locks[s]);
+	return 0;
+}
+
+// nlShutdown: global lock FIRST, then each per-socket lock.
+int nl_shutdown() {
+	lock(&nl_global);
+	for (int i = 0; i < 8; i++) {
+		if (sock_open[i]) {
+			lock(&sock_locks[i]);  // <-- blocks here in the hang
+			sock_open[i] = 0;
+			sock_buf[i] = 0;
+			n_open--;
+			unlock(&sock_locks[i]);
+		}
+	}
+	nl_inited = 0;
+	unlock(&nl_global);
+	return 0;
+}
+
+int game_net_thread(int s) {
+	for (int i = 0; i < 3; i++) {
+		nl_write(s, i * 100);
+	}
+	nl_close(s);
+	return 0;
+}
+
+int teardown_thread(int x) {
+	nl_shutdown();
+	return 0;
+}
+
+int main() {
+	nl_init();
+	int s = input("socket");
+	int proto = input("proto");
+	int port = input("port");
+	int warmup = input("warmup");
+
+	if (s < 0 || s >= 8) {
+		s = 0;
+	}
+	if (nl_open(s, proto) < 0) {
+		return 1;
+	}
+	if (nl_connect(s, port) < 0) {
+		nl_close(s);
+		return 1;
+	}
+	// Session warm-up: the game pushes some frames before teardown starts.
+	if (warmup < 0) { warmup = 0; }
+	if (warmup > 4) { warmup = 4; }
+	for (int i = 0; i < warmup; i++) {
+		nl_write(s, i);
+	}
+	int t1 = thread_create(game_net_thread, s);
+	int t2 = thread_create(teardown_thread, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return n_open;
+}`
+
+var hawknlApp = register(&App{
+	Name:          "hawknl",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        hawknlSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{"socket": 3, "proto": 6, "port": 27015, "warmup": 2},
+	},
+	Usersite: usersite.Options{Seeds: 6000, PreemptPercent: 45},
+	Description: "HawkNL 1.6b3: nlClose() and nlShutdown() called " +
+		"concurrently on the same socket deadlock (per-socket lock vs. " +
+		"global library lock, opposite acquisition orders).",
+})

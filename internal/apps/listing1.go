@@ -1,0 +1,62 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// listing1Src is the paper's running example (Listing 1): two threads
+// executing CriticalSection may deadlock if mode==MOD_Y && idx==1, which
+// requires getchar()=='m' and getenv("mode") starting with 'Y', plus a
+// preemption right after the unlock on "line 11".
+const listing1Src = `
+// listing1.c — the paper's Listing 1 example.
+
+int idx;
+int mode;
+int M1;
+int M2;
+
+int critical_section(int tid) {
+	lock(&M1);
+	lock(&M2);
+	int work = 0;
+	if (mode == 2 && idx == 1) {    // MOD_Y == 2
+		unlock(&M1);
+		work = work + tid;
+		lock(&M1);                  // line 12: deadlock site
+	}
+	unlock(&M2);
+	unlock(&M1);
+	return work;
+}
+
+int main() {
+	idx = 0;
+	if (getchar() == 'm') {
+		idx++;
+	}
+	if (getenv("mode")[0] == 'Y') {
+		mode = 2;
+	} else {
+		mode = 3;
+	}
+	int t1 = thread_create(critical_section, 1);
+	int t2 = thread_create(critical_section, 2);
+	thread_join(t1);
+	thread_join(t2);
+	return 0;
+}`
+
+var listing1App = register(&App{
+	Name:          "listing1",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        listing1Src,
+	UserInputs: &usersite.Inputs{
+		Stdin: []int64{'m'},
+		Env:   map[string]string{"mode": "Yes"},
+	},
+	Usersite:    usersite.Options{Seeds: 6000, PreemptPercent: 45},
+	Description: "The paper's Listing 1: two-thread nested-lock deadlock guarded by stdin and environment inputs.",
+})

@@ -1,0 +1,220 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// lsSrc models the `ls` utility (3 KLOC in coreutils) with the four
+// null-pointer-dereference bugs the paper injects for the Figure 2
+// baseline comparison (§7.2): the real bugs in Table 1 were too hard for
+// KC to find within an hour, so ls1–ls4 give the baselines solvable
+// targets. Each injected bug hides behind a different option combination
+// and pipeline depth: option parsing (ls1), sorting (ls2), column layout
+// (ls3), and the long-format printer (ls4).
+const lsSrc = `
+// ls.c — list directory contents: options, sort, format, print.
+
+int opt_all;        // -a
+int opt_long;       // -l
+int opt_reverse;    // -r
+int opt_sort_time;  // -t
+int opt_columns;    // -C
+int opt_inode;      // -i
+
+int names[32];      // entry name hashes
+int sizes[32];
+int mtimes[32];
+int inodes[32];
+int hidden[32];
+int n_entries;
+
+int order[32];      // sort permutation
+int colw[8];
+
+int err_cell[1];
+
+// parse_opts consumes a 4-cell option vector. Returns NULL on an unknown
+// option, a pointer to err_cell otherwise.
+int *parse_opts(int o1, int o2, int o3, int o4) {
+	opt_all = 0; opt_long = 0; opt_reverse = 0;
+	opt_sort_time = 0; opt_columns = 0; opt_inode = 0;
+	int bad = 0;
+	int opts[4];
+	opts[0] = o1; opts[1] = o2; opts[2] = o3; opts[3] = o4;
+	for (int i = 0; i < 4; i++) {
+		int o = opts[i];
+		if (o == 0) { continue; }
+		if (o == 'a') { opt_all = 1; }
+		else if (o == 'l') { opt_long = 1; }
+		else if (o == 'r') { opt_reverse = 1; }
+		else if (o == 't') { opt_sort_time = 1; }
+		else if (o == 'C') { opt_columns = 1; }
+		else if (o == 'i') { opt_inode = 1; }
+		else { bad = o; }
+	}
+	if (bad != 0) {
+		return 0;
+	}
+	err_cell[0] = 0;
+	return err_cell;
+}
+
+int read_dir(int seed, int count) {
+	if (count < 0) { count = 0; }
+	if (count > 32) { count = 32; }
+	n_entries = count;
+	for (int i = 0; i < count; i++) {
+		names[i] = seed + i * 37;
+		sizes[i] = names[i] * 3 - i;
+		mtimes[i] = seed - i * 11;
+		inodes[i] = 1000 + i;
+		hidden[i] = 0;
+		if (names[i] > 2000) { hidden[i] = 1; }
+		order[i] = i;
+	}
+	return count;
+}
+
+int cmp_entries(int a, int b) {
+	int r = 0;
+	if (opt_sort_time) {
+		r = mtimes[b] - mtimes[a];
+	} else {
+		r = names[a] - names[b];
+	}
+	if (opt_reverse) {
+		r = 0 - r;
+	}
+	return r;
+}
+
+int sort_entries() {
+	for (int i = 1; i < n_entries; i++) {
+		int j = i;
+		while (j > 0 && cmp_entries(order[j - 1], order[j]) > 0) {
+			int tmp = order[j]; order[j] = order[j - 1]; order[j - 1] = tmp;
+			j--;
+		}
+	}
+	// BUG ls2: with -r -t on an empty listing the "last sorted" cursor is
+	// used without the emptiness check.
+	if (opt_reverse && opt_sort_time && n_entries == 0) {
+		int *last = 0;
+		return *last;            // <-- ls2: NULL dereference
+	}
+	return n_entries;
+}
+
+int layout_columns(int width) {
+	if (width < 8) { width = 8; }
+	int ncols = width / 8;
+	if (ncols > 8) { ncols = 8; }
+	for (int c = 0; c < ncols; c++) {
+		colw[c] = 0;
+	}
+	int visible = 0;
+	for (int i = 0; i < n_entries; i++) {
+		if (hidden[i] && !opt_all) { continue; }
+		int c = visible % ncols;
+		int w = 4;
+		if (sizes[i] > 9999) { w = 8; }
+		if (w > colw[c]) { colw[c] = w; }
+		visible++;
+	}
+	// BUG ls3: -C -i with every entry hidden computes a row pointer from
+	// visible-1.
+	if (opt_columns && opt_inode && visible == 0 && n_entries > 0) {
+		int *row = 0;
+		return *row;             // <-- ls3: NULL dereference
+	}
+	return visible;
+}
+
+int print_long(int idx) {
+	int line = 0;
+	line = line + sizes[idx] % 10;
+	line = line + mtimes[idx] % 10;
+	if (opt_inode) {
+		line = line + inodes[idx] % 10;
+	}
+	// BUG ls4: -l -i -r for an entry whose inode ends in 7 follows a stale
+	// group-name cache pointer.
+	if (opt_inode && opt_reverse && inodes[idx] % 10 == 7) {
+		int *grp = 0;
+		return *grp;             // <-- ls4: NULL dereference
+	}
+	return line;
+}
+
+int print_all(int width) {
+	int printed = 0;
+	if (opt_columns) {
+		layout_columns(width);
+	}
+	for (int i = 0; i < n_entries; i++) {
+		int e = order[i];
+		if (hidden[e] && !opt_all) { continue; }
+		if (opt_long) {
+			print_long(e);
+		}
+		printed++;
+	}
+	return printed;
+}
+
+int main() {
+	int o1 = input("opt1");
+	int o2 = input("opt2");
+	int o3 = input("opt3");
+	int o4 = input("opt4");
+	int seed = input("dir_seed");
+	int count = input("dir_count");
+	int width = input("term_width");
+
+	int *status = parse_opts(o1, o2, o3, o4);
+	// BUG ls1: the unknown-option error path prints usage THEN records the
+	// failure into the (NULL) status cell.
+	if (status == 0) {
+		if (o1 == '-') {
+			status[0] = 2;       // <-- ls1: NULL dereference
+		}
+		return 2;
+	}
+	read_dir(seed, count);
+	sort_entries();
+	int printed = print_all(width);
+	return printed;
+}`
+
+func lsApp(name string, inputs map[string]int64, desc string) *App {
+	return register(&App{
+		Name:          name,
+		Manifestation: "crash",
+		Kind:          report.KindCrash,
+		Source:        lsSrc,
+		UserInputs:    &usersite.Inputs{Named: inputs},
+		Usersite:      usersite.Options{Seeds: 4},
+		Description:   desc,
+	})
+}
+
+var ls1App = lsApp("ls1",
+	map[string]int64{"opt1": '-', "opt2": 'q', "opt3": 0, "opt4": 0,
+		"dir_seed": 1, "dir_count": 4, "term_width": 80},
+	"ls with injected bug #1: NULL status cell written on the unknown-option error path.")
+
+var ls2App = lsApp("ls2",
+	map[string]int64{"opt1": 'r', "opt2": 't', "opt3": 0, "opt4": 0,
+		"dir_seed": 9, "dir_count": 0, "term_width": 80},
+	"ls with injected bug #2: NULL cursor dereferenced when reverse-time-sorting an empty listing.")
+
+var ls3App = lsApp("ls3",
+	map[string]int64{"opt1": 'C', "opt2": 'i', "opt3": 0, "opt4": 0,
+		"dir_seed": 2500, "dir_count": 5, "term_width": 40},
+	"ls with injected bug #3: NULL row pointer in column layout when every entry is hidden.")
+
+var ls4App = lsApp("ls4",
+	map[string]int64{"opt1": 'l', "opt2": 'i', "opt3": 'r', "opt4": 0,
+		"dir_seed": 100, "dir_count": 8, "term_width": 80},
+	"ls with injected bug #4: stale NULL group-cache pointer in the long-format printer.")

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"esd/internal/replay"
+	"esd/internal/search"
+	"esd/internal/solver"
+	"esd/internal/trace"
+)
+
+// TestSqliteStrictReplayRegression guards against the input-sequencing
+// divergence where concrete getenv consumption desynchronized synthesis
+// and playback input numbering (fixed by recording InputRecords in both
+// modes).
+func TestSqliteStrictReplayRegression(t *testing.T) {
+	a := Get("sqlite")
+	prog, err := a.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Synthesize(prog, rep, search.Options{
+		Strategy: search.StrategyESD, Timeout: 120 * time.Second, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found == nil {
+		t.Fatal("not synthesized")
+	}
+	st := res.Found
+	var total int64
+	for _, seg := range st.Schedule {
+		total += seg.Steps
+	}
+	if total != st.Steps {
+		t.Fatalf("schedule accounts %d steps, state has %d", total, st.Steps)
+	}
+	ex, err := trace.FromState(st, solver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := replay.NewPlayer(prog, ex, replay.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !p.Done() {
+		if err := p.StepInstr(); err != nil {
+			t.Logf("replay state: %s", p.State().Summary())
+			for _, l := range p.ThreadsSummary() {
+				t.Logf("  %s", l)
+			}
+			t.Logf("replay steps so far: %d (schedule total %d)", p.State().Steps, total)
+			t.Fatalf("diverged: %v", err)
+		}
+		if p.State().Steps > 500000 {
+			t.Fatal("runaway")
+		}
+	}
+	fmt.Println(p.Describe())
+}

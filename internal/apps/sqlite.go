@@ -1,0 +1,255 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// sqliteSrc models SQLite 3.3.0 bug #1672: a hang rooted in the library's
+// custom recursive mutex (sqlite3OsEnterMutex), which layers an owner/count
+// pair over the OS mutex. The fast recursive path (owner == self) skips the
+// OS mutex, so the lock order between the library mutex and the shared-
+// cache lock inverts across threads: a writer holds the library mutex and
+// asks for the cache lock, while the cache sweeper holds the cache lock and
+// asks for the library mutex. The hang needs shared-cache mode (env) and a
+// write-ahead journal configuration (input), plus the right preemption —
+// which is why SQLite's 99%-coverage test suite never caught it.
+const sqliteSrc = `
+// sqlite.c — scaled model of SQLite 3.3.0 (embedded database engine).
+// Subsystems: os (mutex shim), pager, btree, vdbe, shell.
+
+// ---- os layer: custom recursive mutex (the buggy code) ----
+int os_mutex;          // underlying OS mutex
+int os_owner = -1;     // recursive owner (tid)
+int os_cnt;            // recursion count
+
+int os_enter_mutex(int tid) {
+	if (os_owner == tid && os_cnt > 0) {
+		os_cnt++;          // fast path: no OS mutex needed
+		return 0;
+	}
+	lock(&os_mutex);
+	os_owner = tid;
+	os_cnt = 1;
+	return 0;
+}
+
+int os_leave_mutex(int tid) {
+	os_cnt--;
+	if (os_cnt == 0) {
+		os_owner = -1;
+		unlock(&os_mutex);
+	}
+	return 0;
+}
+
+// ---- pager: page cache with a shared-cache lock ----
+int cache_mutex;
+int shared_cache;      // config: shared-cache mode enabled
+int journal_mode;      // 0=off 1=delete 2=wal
+int page_data[16];
+int page_dirty[16];
+int page_refs[16];
+int n_dirty;
+
+int pager_get(int pgno) {
+	if (pgno < 0 || pgno >= 16) {
+		return -1;
+	}
+	page_refs[pgno]++;
+	return page_data[pgno];
+}
+
+int pager_write(int pgno, int val) {
+	if (pgno < 0 || pgno >= 16) {
+		return -1;
+	}
+	page_data[pgno] = val;
+	if (!page_dirty[pgno]) {
+		page_dirty[pgno] = 1;
+		n_dirty++;
+	}
+	return 0;
+}
+
+int pager_sync() {
+	int flushed = 0;
+	for (int i = 0; i < 16; i++) {
+		if (page_dirty[i]) {
+			page_dirty[i] = 0;
+			flushed++;
+		}
+	}
+	n_dirty = 0;
+	return flushed;
+}
+
+// ---- btree: key/value store over the pager ----
+int bt_keys[16];
+int bt_vals[16];
+int bt_used;
+
+int btree_find(int key) {
+	for (int i = 0; i < bt_used; i++) {
+		if (bt_keys[i] == key) {
+			return i;
+		}
+	}
+	return -1;
+}
+
+int btree_insert(int tid, int key, int val) {
+	os_enter_mutex(tid);           // library mutex (outer for writers)
+	os_enter_mutex(tid);           // nested: recursive fast path
+	int slot = btree_find(key);
+	if (slot < 0) {
+		if (bt_used >= 16) {
+			os_leave_mutex(tid);
+			os_leave_mutex(tid);
+			return -1;
+		}
+		slot = bt_used;
+		bt_used++;
+		bt_keys[slot] = key;
+	}
+	bt_vals[slot] = val;
+	pager_write(slot % 16, val);
+	if (shared_cache) {
+		lock(&cache_mutex);        // <-- writer blocks here in the hang
+		page_refs[slot % 16]++;
+		if (journal_mode == 2) {
+			pager_sync();
+		}
+		unlock(&cache_mutex);
+	}
+	os_leave_mutex(tid);
+	os_leave_mutex(tid);
+	return slot;
+}
+
+// cache_sweep is the shared-cache reclaimer: note the inverted order —
+// cache lock first, then the library mutex via os_enter_mutex.
+int cache_sweep(int tid) {
+	int freed = 0;
+	if (shared_cache) {
+		lock(&cache_mutex);
+		os_enter_mutex(tid);       // <-- sweeper blocks here in the hang
+		for (int i = 0; i < 16; i++) {
+			if (page_refs[i] == 0 && page_dirty[i] == 0) {
+				page_data[i] = 0;
+				freed++;
+			}
+		}
+		os_leave_mutex(tid);
+		unlock(&cache_mutex);
+	}
+	return freed;
+}
+
+// ---- vdbe: tiny bytecode interpreter driving the btree ----
+// Opcodes: 1=OpFind 2=OpCount 3=OpInsert 4=OpSync 5=OpNoop. Only OpInsert
+// enters the shared-cache critical section; the connection's prepared
+// statement (the three plan words) comes from the client.
+int vdbe_plan[3];
+
+int vdbe_step(int tid, int op, int arg) {
+	if (op == 1) {
+		os_enter_mutex(tid);
+		int r = btree_find(arg % 16);
+		os_leave_mutex(tid);
+		if (r < 0) {
+			return 0;            // not found is a result, not an error
+		}
+		return r;
+	}
+	if (op == 2) {
+		os_enter_mutex(tid);
+		int n = bt_used;
+		os_leave_mutex(tid);
+		return n;
+	}
+	if (op == 3) {
+		return btree_insert(tid, arg % 16, arg);
+	}
+	if (op == 4) {
+		os_enter_mutex(tid);
+		pager_sync();
+		os_leave_mutex(tid);
+		return 0;
+	}
+	if (op == 5) {
+		return 0;
+	}
+	return -1;                   // SQLITE_MISUSE
+}
+
+int vdbe_run(int tid) {
+	int acc = 0;
+	for (int i = 0; i < 3; i++) {
+		int r = vdbe_step(tid, vdbe_plan[i], 5 + i + tid);
+		if (r < 0) {
+			return -1;           // abort the statement
+		}
+		acc = acc + r;
+	}
+	return acc;
+}
+
+int writer_thread(int tid) {
+	vdbe_run(tid);
+	return 0;
+}
+
+int sweeper_thread(int tid) {
+	cache_sweep(tid);
+	return 0;
+}
+
+int main() {
+	// Configuration: shared-cache mode comes from the environment, journal
+	// mode from the connection string.
+	int *cfg = getenv("SQLITE_SHARED_CACHE");
+	if (cfg[0] == '1') {
+		shared_cache = 1;
+	}
+	journal_mode = input("journal_mode");
+	if (journal_mode < 0 || journal_mode > 2) {
+		journal_mode = 1;
+	}
+	// The client's prepared statement: three vdbe opcodes.
+	vdbe_plan[0] = input("plan0");
+	vdbe_plan[1] = input("plan1");
+	vdbe_plan[2] = input("plan2");
+	// Open: warm a few pages.
+	for (int i = 0; i < 4; i++) {
+		pager_write(i, i * i);
+		page_refs[i] = 0;
+		page_dirty[i] = 0;
+	}
+	n_dirty = 0;
+	int t1 = thread_create(writer_thread, 1);
+	int t2 = thread_create(sweeper_thread, 2);
+	thread_join(t1);
+	thread_join(t2);
+	return bt_used;
+}`
+
+var sqliteApp = register(&App{
+	Name:          "sqlite",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        sqliteSrc,
+	UserInputs: &usersite.Inputs{
+		Env: map[string]string{"SQLITE_SHARED_CACHE": "1"},
+		Named: map[string]int64{
+			"journal_mode": 2,
+			"plan0":        1, // find
+			"plan1":        3, // insert — opens the race window
+			"plan2":        2, // count
+		},
+	},
+	Usersite: usersite.Options{Seeds: 6000, PreemptPercent: 45},
+	Description: "SQLite 3.3.0 bug #1672: deadlock in the custom recursive " +
+		"lock implementation (library mutex vs. shared-cache lock, inverted " +
+		"order hidden by the recursive fast path).",
+})

@@ -1,0 +1,262 @@
+// Package bpf implements the BPF microbenchmark of §7.3: a generator of
+// synthetic programs that hang and/or crash, used to profile ESD without
+// environment-interaction noise and to compare automated-debugging tools.
+//
+// Generation is controlled by the paper's five parameters: number of
+// program inputs, number of total branches, number of branches that depend
+// (directly or indirectly) on inputs, number of threads, and number of
+// shared locks. Each generated program contains exactly one deadlock bug:
+// two of the threads acquire a pair of locks in opposite orders, but only
+// when input-derived gate conditions hold — so stress testing essentially
+// never trips it (§7.3 reports one hour of stress finding nothing), while
+// a guided search can.
+//
+// Programs are emitted as MiniC source, so the whole ESD pipeline
+// (compiler, static analysis, VM) is exercised exactly as for the real
+// apps. Generation is deterministic in the seed.
+package bpf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"esd/internal/lang"
+	"esd/internal/mir"
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// Params controls program generation (the five knobs of §7.3).
+type Params struct {
+	// Inputs is the number of program inputs.
+	Inputs int
+	// Branches is the number of generated conditional branches.
+	Branches int
+	// InputDependent is how many of the branches depend (directly or
+	// indirectly) on inputs; the rest branch on derived locals. The §7.3
+	// experiments set InputDependent == Branches.
+	InputDependent int
+	// Threads is the number of worker threads (≥ 2 for the deadlock).
+	Threads int
+	// Locks is the number of shared locks (≥ 2 for the deadlock).
+	Locks int
+	// Seed drives deterministic generation.
+	Seed int64
+	// FillerPerBranch adds straight-line filler statements per branch so
+	// program KLOC scales the way the paper's Figure 4 sizes do (default
+	// 14 lines/branch ≈ 0.36 KLOC at 2^4 ... 40 KLOC at 2^11).
+	FillerPerBranch int
+}
+
+// Program is a generated benchmark program.
+type Program struct {
+	Params Params
+	Source string
+	// TriggerInputs are input values that enable the deadlock gates (the
+	// "user site" knows them; synthesis must rediscover them).
+	TriggerInputs map[string]int64
+	// Lines is the source line count (the KLOC metric of Figure 4).
+	Lines int
+}
+
+// Generate builds the benchmark program for p.
+func Generate(p Params) (*Program, error) {
+	if p.Inputs < 1 {
+		p.Inputs = 1
+	}
+	if p.Branches < 1 {
+		p.Branches = 1
+	}
+	if p.InputDependent > p.Branches {
+		p.InputDependent = p.Branches
+	}
+	if p.InputDependent <= 0 {
+		p.InputDependent = p.Branches
+	}
+	if p.Threads < 2 {
+		p.Threads = 2
+	}
+	if p.Locks < 2 {
+		p.Locks = 2
+	}
+	if p.FillerPerBranch == 0 {
+		p.FillerPerBranch = 14
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// bpf generated program: %d inputs, %d branches, %d threads, %d locks, seed %d\n",
+		p.Inputs, p.Branches, p.Threads, p.Locks, p.Seed)
+
+	// Globals: locks, gate flags, accumulator sinks.
+	for i := 0; i < p.Locks; i++ {
+		fmt.Fprintf(&b, "int lk%d;\n", i)
+	}
+	b.WriteString("int sink;\nint gateA;\nint gateB;\nint work_done;\n")
+	for i := 0; i < p.Inputs; i++ {
+		fmt.Fprintf(&b, "int inv%d;\n", i)
+	}
+
+	// The gate values the deadlock needs. Secret per-seed constants.
+	trigger := map[string]int64{}
+	gateVals := make([]int64, p.Inputs)
+	for i := 0; i < p.Inputs; i++ {
+		gateVals[i] = int64(rng.Intn(200) - 100)
+		trigger[fmt.Sprintf("in%d", i)] = gateVals[i]
+	}
+
+	// Branch chain functions. Each function carries a slice of the
+	// branches; wrong branch outcomes dive into futile nested work, so
+	// undirected searches waste time there.
+	perFn := 16
+	nFns := (p.Branches + perFn - 1) / perFn
+	branchIdx := 0
+	for f := 0; f < nFns; f++ {
+		fmt.Fprintf(&b, "\nint chain%d(int tid) {\n\tint acc = tid;\n", f)
+		for j := 0; j < perFn && branchIdx < p.Branches; j++ {
+			iv := rng.Intn(p.Inputs)
+			inputDep := branchIdx < p.InputDependent
+			cmp := int64(rng.Intn(200) - 100)
+			var cond string
+			if inputDep {
+				cond = fmt.Sprintf("inv%d > %d", iv, cmp)
+			} else {
+				cond = fmt.Sprintf("acc %% 7 > %d", rng.Intn(6))
+			}
+			fmt.Fprintf(&b, "\tif (%s) {\n", cond)
+			// Futile detour: nested loop over filler.
+			fmt.Fprintf(&b, "\t\tint w%d = acc;\n", j)
+			for k := 0; k < p.FillerPerBranch; k++ {
+				fmt.Fprintf(&b, "\t\tw%d = w%d * %d + %d;\n", j, j, rng.Intn(9)+2, rng.Intn(100))
+			}
+			fmt.Fprintf(&b, "\t\tacc = acc + w%d %% 13;\n", j)
+			fmt.Fprintf(&b, "\t} else {\n\t\tacc = acc + %d;\n\t}\n", rng.Intn(5))
+			branchIdx++
+		}
+		b.WriteString("\tsink = sink + acc;\n\treturn acc;\n}\n")
+	}
+
+	// Gate computation: conjunction over all inputs equaling the secret
+	// values. Split into two overlapping gates so both workers need input
+	// conditions.
+	b.WriteString("\nint compute_gates() {\n\tint ok = 1;\n")
+	for i := 0; i < p.Inputs; i++ {
+		fmt.Fprintf(&b, "\tif (inv%d != %d) { ok = 0; }\n", i, gateVals[i])
+	}
+	b.WriteString("\tgateA = ok;\n\tgateB = ok;\n\treturn ok;\n}\n")
+
+	// Worker A: locks lk0 then lk1 when gated; otherwise it wanders into
+	// the branch chains — the futile subspace undirected searches drown
+	// in, while the proximity heuristic keeps ESD out of it (§3.4).
+	b.WriteString("\nint workerA(int tid) {\n\tif (gateA == 1) {\n")
+	b.WriteString("\t\tlock(&lk0);\n\t\twork_done = work_done + 1;\n")
+	b.WriteString("\t\tlock(&lk1);\n\t\tsink = sink + work_done;\n")
+	b.WriteString("\t\tunlock(&lk1);\n\t\tunlock(&lk0);\n\t} else {\n")
+	for f := 0; f < nFns; f += 2 {
+		fmt.Fprintf(&b, "\t\tchain%d(tid);\n", f)
+	}
+	b.WriteString("\t}\n\treturn 0;\n}\n")
+	// Worker B: opposite lock order; odd chains on the futile side.
+	b.WriteString("\nint workerB(int tid) {\n\tif (gateB == 1) {\n")
+	b.WriteString("\t\tlock(&lk1);\n\t\twork_done = work_done + 1;\n")
+	b.WriteString("\t\tlock(&lk0);\n\t\tsink = sink + work_done;\n")
+	b.WriteString("\t\tunlock(&lk0);\n\t\tunlock(&lk1);\n\t} else {\n")
+	for f := 1; f < nFns; f += 2 {
+		fmt.Fprintf(&b, "\t\tchain%d(tid);\n", f)
+	}
+	if nFns == 1 {
+		b.WriteString("\t\tchain0(tid);\n")
+	}
+	b.WriteString("\t}\n\treturn 0;\n}\n")
+	// Extra workers (threads beyond 2) churn the remaining locks in a
+	// consistent order (no additional bug).
+	for t := 2; t < p.Threads; t++ {
+		lkA := 2 + (t-2)%maxInt(p.Locks-2, 1)
+		if lkA >= p.Locks {
+			lkA = p.Locks - 1
+		}
+		fmt.Fprintf(&b, `
+int worker%d(int tid) {
+	chain%d(tid);
+	lock(&lk%d);
+	sink = sink + tid;
+	unlock(&lk%d);
+	return 0;
+}
+`, t, t%nFns, lkA, lkA)
+	}
+
+	// main: read inputs, compute gates, spawn workers, join.
+	b.WriteString("\nint main() {\n")
+	for i := 0; i < p.Inputs; i++ {
+		fmt.Fprintf(&b, "\tinv%d = input(\"in%d\");\n", i, i)
+	}
+	b.WriteString("\tcompute_gates();\n")
+	b.WriteString("\tint ta = thread_create(workerA, 1);\n")
+	b.WriteString("\tint tb = thread_create(workerB, 2);\n")
+	for t := 2; t < p.Threads; t++ {
+		fmt.Fprintf(&b, "\tint t%d = thread_create(worker%d, %d);\n", t, t, t+1)
+	}
+	b.WriteString("\tthread_join(ta);\n\tthread_join(tb);\n")
+	for t := 2; t < p.Threads; t++ {
+		fmt.Fprintf(&b, "\tthread_join(t%d);\n", t)
+	}
+	b.WriteString("\treturn sink;\n}\n")
+
+	src := b.String()
+	return &Program{
+		Params:        p,
+		Source:        src,
+		TriggerInputs: trigger,
+		Lines:         strings.Count(src, "\n"),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compile compiles the generated source to MIR.
+func (g *Program) Compile() (*mir.Program, error) {
+	return lang.Compile(fmt.Sprintf("bpf_b%d_s%d.c", g.Params.Branches, g.Params.Seed), g.Source)
+}
+
+// Coredump simulates the user site: run with the triggering inputs under
+// random schedules until the injected deadlock fires.
+func (g *Program) Coredump() (*report.Report, error) {
+	prog, err := g.Compile()
+	if err != nil {
+		return nil, err
+	}
+	in := &usersite.Inputs{Named: g.TriggerInputs}
+	rep, err := usersite.CoredumpFor(prog, in, usersite.Options{Seeds: 8000, PreemptPercent: 45})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Kind != report.KindDeadlock {
+		return nil, fmt.Errorf("bpf: user site failed with %v, want deadlock", rep.Kind)
+	}
+	return rep, nil
+}
+
+// StandardConfigs returns the eight §7.3 configurations: branches 2^4
+// through 2^11, two threads, two locks, every branch input-dependent.
+func StandardConfigs() []Params {
+	var out []Params
+	for exp := 4; exp <= 11; exp++ {
+		n := 1 << exp
+		out = append(out, Params{
+			Inputs:         8,
+			Branches:       n,
+			InputDependent: n,
+			Threads:        2,
+			Locks:          2,
+			Seed:           int64(exp),
+		})
+	}
+	return out
+}

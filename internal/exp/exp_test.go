@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick is a config small enough for CI while still exercising every code
+// path of the harness.
+func quick() Config {
+	return Config{Timeout: 60 * time.Second, Seed: 1, MaxBPFExp: 4}
+}
+
+func TestTable1AllFound(t *testing.T) {
+	rows, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ESD.Found {
+			t.Errorf("%s: ESD did not find the bug (%.1fs)", r.System, r.ESD.Duration.Seconds())
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	for _, want := range []string{"sqlite", "hang", "ghttpd", "crash"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("printed table missing %q", want)
+		}
+	}
+}
+
+func TestFigure3SmallSweep(t *testing.T) {
+	rows, err := Figure3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("MaxBPFExp=4 should yield one row, got %d", len(rows))
+	}
+	if !rows[0].ESD.Found {
+		t.Error("ESD failed on the smallest BPF config")
+	}
+	if rows[0].KLOC <= 0 {
+		t.Error("missing KLOC metric")
+	}
+	var buf bytes.Buffer
+	PrintFigure3(&buf, rows)
+	PrintFigure4(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 3") || !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("figure rendering broken")
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	rows, err := Ablation("listing1", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("ablation rows = %d, want 5", len(rows))
+	}
+	if !rows[0].Outcome.Found {
+		t.Error("full ESD must find listing1")
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "listing1", rows)
+	if !strings.Contains(buf.String(), "no proximity") {
+		t.Error("ablation rendering broken")
+	}
+}
+
+func TestStressFindsNothing(t *testing.T) {
+	rows, err := Stress(30, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Reproduced != 0 {
+			t.Errorf("%s: stress reproduced the bug %d/%d times — gates too weak", r.App, r.Reproduced, r.Runs)
+		}
+	}
+	var buf bytes.Buffer
+	PrintStress(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("stress rendering broken")
+	}
+}
+
+func TestUnknownAblationApp(t *testing.T) {
+	if _, err := Ablation("nope", quick()); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBanner(t *testing.T) {
+	if !strings.Contains(Banner(quick()), "timeout") {
+		t.Fatal("banner broken")
+	}
+}

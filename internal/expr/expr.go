@@ -1,0 +1,700 @@
+// Package expr implements the symbolic term language used throughout ESD.
+//
+// Terms are immutable trees over 64-bit signed integers: constants, named
+// symbolic variables, unary and binary operators, and comparisons (which
+// evaluate to 0 or 1). The package provides structural construction with
+// on-the-fly algebraic simplification, a concrete evaluator, and free
+// variable collection. The constraint solver (internal/solver) decides
+// satisfiability of conjunctions of boolean-valued terms.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies a term operator.
+type Op int
+
+// Operators. Comparison operators yield 0 or 1.
+const (
+	OpConst Op = iota // leaf: constant
+	OpVar             // leaf: symbolic variable
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed division; division by zero is a path-infeasible event handled by the VM
+	OpMod
+	OpAnd // bitwise and
+	OpOr  // bitwise or
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+
+	OpEq
+	OpNe
+	OpLt // signed <
+	OpLe
+	OpGt
+	OpGe
+
+	OpNeg // unary minus
+	OpNot // logical not: 1 if operand == 0 else 0
+	OpBNot
+
+	OpLAnd // logical and over {0,1}
+	OpLOr  // logical or over {0,1}
+
+	OpIte // if-then-else: Cond ? A : B
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpNeg: "neg", OpNot: "!", OpBNot: "~",
+	OpLAnd: "&&", OpLOr: "||", OpIte: "ite",
+}
+
+// String returns the operator's source-level spelling.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Expr is an immutable symbolic term. A nil *Expr is invalid.
+type Expr struct {
+	Op   Op
+	C    int64  // OpConst value
+	Name string // OpVar name; unique per symbolic input
+	A, B *Expr  // operands (A for unary; A,B for binary; Cond in A for Ite)
+	T, F *Expr  // Ite branches
+
+	hash uint64 // structural hash, computed at construction
+}
+
+// Const returns a constant term.
+func Const(v int64) *Expr {
+	e := &Expr{Op: OpConst, C: v}
+	e.hash = e.computeHash()
+	return e
+}
+
+// Bool returns the constant 1 or 0 for b.
+func Bool(b bool) *Expr {
+	if b {
+		return Const(1)
+	}
+	return Const(0)
+}
+
+// Var returns a symbolic variable term with the given name.
+func Var(name string) *Expr {
+	e := &Expr{Op: OpVar, Name: name}
+	e.hash = e.computeHash()
+	return e
+}
+
+// IsConst reports whether e is a constant, returning its value.
+func (e *Expr) IsConst() (int64, bool) {
+	if e.Op == OpConst {
+		return e.C, true
+	}
+	return 0, false
+}
+
+// IsBoolOp reports whether e's operator always yields 0 or 1.
+func (e *Expr) IsBoolOp() bool {
+	switch e.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpNot, OpLAnd, OpLOr:
+		return true
+	case OpConst:
+		return e.C == 0 || e.C == 1
+	}
+	return false
+}
+
+func (e *Expr) computeHash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(e.Op))
+	mix(uint64(e.C))
+	for i := 0; i < len(e.Name); i++ {
+		mix(uint64(e.Name[i]))
+	}
+	if e.A != nil {
+		mix(e.A.hash)
+	}
+	if e.B != nil {
+		mix(e.B.hash ^ 0x9e3779b97f4a7c15)
+	}
+	if e.T != nil {
+		mix(e.T.hash ^ 0xdeadbeef)
+	}
+	if e.F != nil {
+		mix(e.F.hash ^ 0xcafebabe)
+	}
+	return h
+}
+
+// Hash returns a structural hash of the term.
+func (e *Expr) Hash() uint64 { return e.hash }
+
+// Equal reports structural equality.
+func (e *Expr) Equal(o *Expr) bool {
+	if e == o {
+		return true
+	}
+	if e == nil || o == nil {
+		return false
+	}
+	if e.hash != o.hash || e.Op != o.Op || e.C != o.C || e.Name != o.Name {
+		return false
+	}
+	eq := func(a, b *Expr) bool {
+		if a == nil || b == nil {
+			return a == b
+		}
+		return a.Equal(b)
+	}
+	return eq(e.A, o.A) && eq(e.B, o.B) && eq(e.T, o.T) && eq(e.F, o.F)
+}
+
+func evalBinConst(op Op, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpAnd:
+		return a & b, true
+	case OpOr:
+		return a | b, true
+	case OpXor:
+		return a ^ b, true
+	case OpShl:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case OpShr:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case OpEq:
+		return b2i(a == b), true
+	case OpNe:
+		return b2i(a != b), true
+	case OpLt:
+		return b2i(a < b), true
+	case OpLe:
+		return b2i(a <= b), true
+	case OpGt:
+		return b2i(a > b), true
+	case OpGe:
+		return b2i(a >= b), true
+	case OpLAnd:
+		return b2i(a != 0 && b != 0), true
+	case OpLOr:
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// linTerm is a bounded-depth linear decomposition: sum(coeff[v]*v) + k.
+type linTerm struct {
+	coeff map[string]int64
+	k     int64
+}
+
+// linearOf extracts a linear form from small Add/Sub/Mul-const/Neg trees.
+// ok is false for anything outside that fragment (or too deep to be worth
+// scanning at construction time).
+func linearOf(e *Expr, depth int) (linTerm, bool) {
+	if depth <= 0 {
+		return linTerm{}, false
+	}
+	switch e.Op {
+	case OpConst:
+		return linTerm{k: e.C}, true
+	case OpVar:
+		return linTerm{coeff: map[string]int64{e.Name: 1}}, true
+	case OpNeg:
+		l, ok := linearOf(e.A, depth-1)
+		if !ok {
+			return linTerm{}, false
+		}
+		return l.scaled(-1), true
+	case OpAdd, OpSub:
+		l1, ok := linearOf(e.A, depth-1)
+		if !ok {
+			return linTerm{}, false
+		}
+		l2, ok := linearOf(e.B, depth-1)
+		if !ok {
+			return linTerm{}, false
+		}
+		if e.Op == OpSub {
+			l2 = l2.scaled(-1)
+		}
+		return l1.plus(l2), true
+	case OpMul:
+		if c, ok := e.B.IsConst(); ok {
+			l, lok := linearOf(e.A, depth-1)
+			if lok {
+				return l.scaled(c), true
+			}
+		}
+		if c, ok := e.A.IsConst(); ok {
+			l, lok := linearOf(e.B, depth-1)
+			if lok {
+				return l.scaled(c), true
+			}
+		}
+	}
+	return linTerm{}, false
+}
+
+func (l linTerm) scaled(c int64) linTerm {
+	out := linTerm{k: l.k * c, coeff: map[string]int64{}}
+	for v, co := range l.coeff {
+		out.coeff[v] = co * c
+	}
+	return out
+}
+
+func (l linTerm) plus(o linTerm) linTerm {
+	out := linTerm{k: l.k + o.k, coeff: map[string]int64{}}
+	for v, co := range l.coeff {
+		out.coeff[v] = co
+	}
+	for v, co := range o.coeff {
+		out.coeff[v] += co
+		if out.coeff[v] == 0 {
+			delete(out.coeff, v)
+		}
+	}
+	return out
+}
+
+// linearDepth bounds the construction-time linear scan: deep chains are
+// the solver's job, but shallow cancellations ((x+a)-(x+b)) are extremely
+// common in array-index and comparison code and fold here.
+const linearDepth = 6
+
+// foldLinear rebuilds an Add/Sub term in canonical form when doing so
+// eliminates variables (e.g. (seed+3) - (seed+40) → -37).
+func foldLinear(op Op, a, b *Expr) (*Expr, bool) {
+	la, ok := linearOf(a, linearDepth)
+	if !ok {
+		return nil, false
+	}
+	lb, ok := linearOf(b, linearDepth)
+	if !ok {
+		return nil, false
+	}
+	if op == OpSub {
+		lb = lb.scaled(-1)
+	}
+	sum := la.plus(lb)
+	// Only rebuild when the combination removed variables; otherwise keep
+	// the user's structure (cheaper than re-normalizing everything).
+	before := map[string]bool{}
+	for v := range la.coeff {
+		before[v] = true
+	}
+	for v := range lb.coeff {
+		before[v] = true
+	}
+	if len(sum.coeff) >= len(before) {
+		return nil, false
+	}
+	switch len(sum.coeff) {
+	case 0:
+		return Const(sum.k), true
+	case 1:
+		for v, c := range sum.coeff {
+			var t *Expr = Var(v)
+			if c != 1 {
+				t = &Expr{Op: OpMul, A: t, B: Const(c)}
+				t.hash = t.computeHash()
+			}
+			if sum.k == 0 {
+				return t, true
+			}
+			out := &Expr{Op: OpAdd, A: t, B: Const(sum.k)}
+			out.hash = out.computeHash()
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Binary builds a binary term, constant-folding and simplifying.
+func Binary(op Op, a, b *Expr) *Expr {
+	av, aok := a.IsConst()
+	bv, bok := b.IsConst()
+	if aok && bok {
+		if v, ok := evalBinConst(op, av, bv); ok {
+			return Const(v)
+		}
+	}
+	if op == OpAdd || op == OpSub {
+		if folded, ok := foldLinear(op, a, b); ok {
+			return folded
+		}
+	}
+	// Identity and annihilator simplifications.
+	switch op {
+	case OpAdd:
+		if aok && av == 0 {
+			return b
+		}
+		if bok && bv == 0 {
+			return a
+		}
+	case OpSub:
+		if bok && bv == 0 {
+			return a
+		}
+		if a.Equal(b) {
+			return Const(0)
+		}
+	case OpMul:
+		if aok && av == 1 {
+			return b
+		}
+		if bok && bv == 1 {
+			return a
+		}
+		if (aok && av == 0) || (bok && bv == 0) {
+			return Const(0)
+		}
+	case OpDiv:
+		if bok && bv == 1 {
+			return a
+		}
+	case OpAnd:
+		if (aok && av == 0) || (bok && bv == 0) {
+			return Const(0)
+		}
+	case OpOr, OpXor:
+		if aok && av == 0 {
+			return b
+		}
+		if bok && bv == 0 {
+			return a
+		}
+	case OpShl, OpShr:
+		if bok && bv == 0 {
+			return a
+		}
+	case OpEq:
+		if a.Equal(b) {
+			return Const(1)
+		}
+	case OpNe:
+		if a.Equal(b) {
+			return Const(0)
+		}
+	case OpLt, OpGt:
+		if a.Equal(b) {
+			return Const(0)
+		}
+	case OpLe, OpGe:
+		if a.Equal(b) {
+			return Const(1)
+		}
+	case OpLAnd:
+		if aok {
+			if av == 0 {
+				return Const(0)
+			}
+			return truth(b)
+		}
+		if bok {
+			if bv == 0 {
+				return Const(0)
+			}
+			return truth(a)
+		}
+	case OpLOr:
+		if aok {
+			if av != 0 {
+				return Const(1)
+			}
+			return truth(b)
+		}
+		if bok {
+			if bv != 0 {
+				return Const(1)
+			}
+			return truth(a)
+		}
+	}
+	// Normalize constant to the right for commutative comparisons with
+	// constant on the left: c < x  ==>  x > c, etc. This helps the solver's
+	// pattern matching.
+	if aok && !bok {
+		switch op {
+		case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+			a, b = b, a
+		case OpLt:
+			return Binary(OpGt, b, a)
+		case OpLe:
+			return Binary(OpGe, b, a)
+		case OpGt:
+			return Binary(OpLt, b, a)
+		case OpGe:
+			return Binary(OpLe, b, a)
+		}
+	}
+	e := &Expr{Op: op, A: a, B: b}
+	e.hash = e.computeHash()
+	return e
+}
+
+// truth coerces a term to {0,1}: returns e if already boolean, else e != 0.
+func truth(e *Expr) *Expr {
+	if e.IsBoolOp() {
+		return e
+	}
+	return Binary(OpNe, e, Const(0))
+}
+
+// Unary builds a unary term with simplification.
+func Unary(op Op, a *Expr) *Expr {
+	if v, ok := a.IsConst(); ok {
+		switch op {
+		case OpNeg:
+			return Const(-v)
+		case OpNot:
+			return Bool(v == 0)
+		case OpBNot:
+			return Const(^v)
+		}
+	}
+	switch op {
+	case OpNot:
+		// !!x over booleans; !(a==b) => a!=b, etc.
+		switch a.Op {
+		case OpNot:
+			return truth(a.A)
+		case OpEq:
+			return Binary(OpNe, a.A, a.B)
+		case OpNe:
+			return Binary(OpEq, a.A, a.B)
+		case OpLt:
+			return Binary(OpGe, a.A, a.B)
+		case OpLe:
+			return Binary(OpGt, a.A, a.B)
+		case OpGt:
+			return Binary(OpLe, a.A, a.B)
+		case OpGe:
+			return Binary(OpLt, a.A, a.B)
+		}
+	case OpNeg:
+		if a.Op == OpNeg {
+			return a.A
+		}
+	case OpBNot:
+		if a.Op == OpBNot {
+			return a.A
+		}
+	}
+	e := &Expr{Op: op, A: a}
+	e.hash = e.computeHash()
+	return e
+}
+
+// Ite builds cond ? t : f with simplification.
+func Ite(cond, t, f *Expr) *Expr {
+	if v, ok := cond.IsConst(); ok {
+		if v != 0 {
+			return t
+		}
+		return f
+	}
+	if t.Equal(f) {
+		return t
+	}
+	e := &Expr{Op: OpIte, A: cond, T: t, F: f}
+	e.hash = e.computeHash()
+	return e
+}
+
+// Not returns the logical negation of e (coerced to boolean).
+func Not(e *Expr) *Expr { return Unary(OpNot, truth(e)) }
+
+// Truth returns e coerced to a {0,1} boolean term.
+func Truth(e *Expr) *Expr { return truth(e) }
+
+// Eval evaluates e under the given variable assignment. It returns an error
+// for unbound variables or undefined arithmetic (division by zero).
+func (e *Expr) Eval(env map[string]int64) (int64, error) {
+	switch e.Op {
+	case OpConst:
+		return e.C, nil
+	case OpVar:
+		v, ok := env[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("expr: unbound variable %q", e.Name)
+		}
+		return v, nil
+	case OpNeg, OpNot, OpBNot:
+		a, err := e.A.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpNeg:
+			return -a, nil
+		case OpNot:
+			return b2i(a == 0), nil
+		default:
+			return ^a, nil
+		}
+	case OpIte:
+		c, err := e.A.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.T.Eval(env)
+		}
+		return e.F.Eval(env)
+	default:
+		a, err := e.A.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.B.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		v, ok := evalBinConst(e.Op, a, b)
+		if !ok {
+			return 0, fmt.Errorf("expr: undefined %s with operands %d, %d", e.Op, a, b)
+		}
+		return v, nil
+	}
+}
+
+// Vars appends the names of e's free variables to dst (deduplicated, sorted).
+func (e *Expr) Vars() []string {
+	set := map[string]bool{}
+	e.collectVars(set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) collectVars(set map[string]bool) {
+	if e == nil {
+		return
+	}
+	if e.Op == OpVar {
+		set[e.Name] = true
+		return
+	}
+	e.A.collectVars(set)
+	e.B.collectVars(set)
+	e.T.collectVars(set)
+	e.F.collectVars(set)
+}
+
+// Substitute returns e with every occurrence of variable name replaced by
+// replacement, re-simplifying along the way.
+func (e *Expr) Substitute(name string, replacement *Expr) *Expr {
+	switch e.Op {
+	case OpConst:
+		return e
+	case OpVar:
+		if e.Name == name {
+			return replacement
+		}
+		return e
+	case OpNeg, OpNot, OpBNot:
+		return Unary(e.Op, e.A.Substitute(name, replacement))
+	case OpIte:
+		return Ite(e.A.Substitute(name, replacement), e.T.Substitute(name, replacement), e.F.Substitute(name, replacement))
+	default:
+		return Binary(e.Op, e.A.Substitute(name, replacement), e.B.Substitute(name, replacement))
+	}
+}
+
+// String renders the term in infix form.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "%d", e.C)
+	case OpVar:
+		b.WriteString(e.Name)
+	case OpNeg:
+		b.WriteString("-(")
+		e.A.write(b)
+		b.WriteString(")")
+	case OpNot:
+		b.WriteString("!(")
+		e.A.write(b)
+		b.WriteString(")")
+	case OpBNot:
+		b.WriteString("~(")
+		e.A.write(b)
+		b.WriteString(")")
+	case OpIte:
+		b.WriteString("(")
+		e.A.write(b)
+		b.WriteString(" ? ")
+		e.T.write(b)
+		b.WriteString(" : ")
+		e.F.write(b)
+		b.WriteString(")")
+	default:
+		b.WriteString("(")
+		e.A.write(b)
+		b.WriteString(" ")
+		b.WriteString(e.Op.String())
+		b.WriteString(" ")
+		e.B.write(b)
+		b.WriteString(")")
+	}
+}

@@ -1,0 +1,210 @@
+package lang
+
+// The MiniC abstract syntax tree. Every node carries its source line for
+// diagnostics and for MIR position info.
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is a file-scope variable: `int g;`, `int g = 3;`,
+// `int buf[64];` or `int tab[3] = {1,2,3};`.
+type GlobalDecl struct {
+	Name string
+	Size int64 // 1 for scalars
+	// IsArray distinguishes `int a[1]` (decays to a pointer) from `int a`
+	// (a scalar lvalue).
+	IsArray bool
+	Init    []int64
+	Line    int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a `{ ... }` scope.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarDecl is a local declaration: `int x;`, `int x = e;`, `int a[n];`.
+type VarDecl struct {
+	Name string
+	// ArraySize is non-nil for array declarations.
+	ArraySize Expr
+	Init      Expr
+	Line      int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init Stmt // VarDecl or ExprStmt
+	Cond Expr
+	Post Stmt // ExprStmt
+	Body Stmt
+	Line int
+}
+
+// ReturnStmt returns Value (may be nil).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDecl) stmtNode()      {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumberLit is an integer or character literal.
+type NumberLit struct {
+	Val  int64
+	Line int
+}
+
+// StringLit is a string literal; it lowers to a pointer to a global
+// NUL-terminated byte array.
+type StringLit struct {
+	Val  string
+	Line int
+}
+
+// Ident references a variable or function by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is !x, -x, ~x, *x (deref), or &x (address-of).
+type UnaryExpr struct {
+	Op   TokKind
+	X    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation; && and || are short-circuit.
+type BinaryExpr struct {
+	Op   TokKind
+	X, Y Expr
+	Line int
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	X, Index Expr
+	Line     int
+}
+
+// CallExpr is f(args...) where f is an identifier (function or function-
+// valued variable) or a builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// AssignExpr is lhs = rhs, lhs += rhs, or lhs -= rhs. Lhs must be an
+// lvalue: Ident, IndexExpr, or UnaryExpr{*}.
+type AssignExpr struct {
+	Op   TokKind // TokAssign, TokPlusAssign, TokMinusAssign
+	Lhs  Expr
+	Rhs  Expr
+	Line int
+}
+
+// IncDecExpr is x++ or x-- (statement-level in MiniC).
+type IncDecExpr struct {
+	Op   TokKind // TokPlusPlus or TokMinusMinus
+	Lhs  Expr
+	Line int
+}
+
+func (*NumberLit) exprNode()  {}
+func (*StringLit) exprNode()  {}
+func (*Ident) exprNode()      {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+
+func exprLine(e Expr) int {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Line
+	case *StringLit:
+		return x.Line
+	case *Ident:
+		return x.Line
+	case *UnaryExpr:
+		return x.Line
+	case *BinaryExpr:
+		return x.Line
+	case *CondExpr:
+		return x.Line
+	case *IndexExpr:
+		return x.Line
+	case *CallExpr:
+		return x.Line
+	case *AssignExpr:
+		return x.Line
+	case *IncDecExpr:
+		return x.Line
+	}
+	return 0
+}

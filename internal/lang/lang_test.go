@@ -1,0 +1,245 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll("t.c", `int main() { return 0x1F + 'm'; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokInt, TokIdent, TokLParen, TokRParen, TokLBrace,
+		TokReturn, TokNumber, TokPlus, TokChar, TokSemi, TokRBrace, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[6].Val != 0x1F {
+		t.Errorf("hex literal = %d", toks[6].Val)
+	}
+	if toks[8].Val != 'm' {
+		t.Errorf("char literal = %d", toks[8].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := LexAll("t.c", `== != <= >= << >> && || += -= ++ -- = < > & |`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokEq, TokNe, TokLe, TokGe, TokShl, TokShr, TokAndAnd,
+		TokOrOr, TokPlusAssign, TokMinusAssign, TokPlusPlus, TokMinusMinus,
+		TokAssign, TokLt, TokGt, TokAmp, TokPipe, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := LexAll("t.c", `"a\n\t\0\\\""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "a\n\t\x00\\\"" {
+		t.Fatalf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'a`, "/* open", "$"} {
+		if _, err := LexAll("t.c", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLineNumbers(t *testing.T) {
+	toks, err := LexAll("t.c", "int\nx\n=\n3;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3, 4} {
+		if toks[i].Line != want {
+			t.Errorf("token %d: line %d want %d", i, toks[i].Line, want)
+		}
+	}
+}
+
+func TestParseSimpleProgram(t *testing.T) {
+	f, err := Parse("t.c", `
+int g;
+int buf[16];
+int tab[3] = {1, 2, 3};
+int answer = 42;
+
+int add(int a, int b) { return a + b; }
+
+int main() {
+	int x = add(1, 2);
+	if (x > 2) { g = x; } else { g = 0; }
+	while (g < 10) g++;
+	for (int i = 0; i < 3; i++) g += tab[i];
+	return g;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 4 || len(f.Funcs) != 2 {
+		t.Fatalf("globals=%d funcs=%d", len(f.Globals), len(f.Funcs))
+	}
+	if f.Globals[1].Size != 16 {
+		t.Errorf("buf size = %d", f.Globals[1].Size)
+	}
+	if len(f.Globals[2].Init) != 3 || f.Globals[2].Init[2] != 3 {
+		t.Errorf("tab init = %v", f.Globals[2].Init)
+	}
+	if f.Globals[3].Init[0] != 42 {
+		t.Errorf("answer init = %v", f.Globals[3].Init)
+	}
+	if len(f.Funcs[0].Params) != 2 {
+		t.Errorf("add params = %v", f.Funcs[0].Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int main() { return; `,   // unterminated block
+		`int main() { 3 = x; }`,   // bad lvalue
+		`int main() { break; }`,   // checked at lowering, parses fine
+		`int x[0];`,               // zero-size global
+		`float main() {}`,         // unknown type keyword
+		`int main() { if x { } }`, // missing paren
+		`int main() { x ++ ++; }`, // ++ on non-lvalue result
+	}
+	for _, src := range bad[0:2] {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+	for _, src := range bad[3:] {
+		if _, err := Parse("t.c", src); err == nil {
+			t.Errorf("no parse error for %q", src)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f, err := Parse("t.c", `int main() { return 1 + 2 * 3 == 7 && 4 < 5; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	top, ok := ret.Value.(*BinaryExpr)
+	if !ok || top.Op != TokAndAnd {
+		t.Fatalf("top op = %#v", ret.Value)
+	}
+	l, ok := top.X.(*BinaryExpr)
+	if !ok || l.Op != TokEq {
+		t.Fatalf("lhs of && = %#v", top.X)
+	}
+}
+
+func TestTernaryParse(t *testing.T) {
+	f, err := Parse("t.c", `int main() { return 1 < 2 ? 10 : 20; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if _, ok := ret.Value.(*CondExpr); !ok {
+		t.Fatalf("not a CondExpr: %#v", ret.Value)
+	}
+}
+
+func TestLowerVerifies(t *testing.T) {
+	prog, err := Compile("t.c", `
+int g;
+int m1;
+int m2;
+
+int helper(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) acc += i;
+	return acc;
+}
+
+int worker(int arg) {
+	lock(&m1);
+	g = g + arg;
+	unlock(&m1);
+	return 0;
+}
+
+int main() {
+	int t = thread_create(worker, 5);
+	int x = getchar();
+	if (x == 'm' && helper(3) > 2) {
+		g = 1;
+	}
+	thread_join(t);
+	return g;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumInstrs() < 20 {
+		t.Fatalf("suspiciously small program: %d instrs", prog.NumInstrs())
+	}
+	// String literals and dumping should not panic.
+	if s := prog.String(); !strings.Contains(s, "func main") {
+		t.Fatalf("dump missing main:\n%s", s)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return undefined_var; }`,
+		`int main() { undefined_fn(); }`,
+		`int add(int a, int b) { return a; } int main() { return add(1); }`,
+		`int main() { break; }`,
+		`int main() { continue; }`,
+		`int g; int g; int main() { return 0; }`,
+		`int f() { return 0; } int f() { return 1; } int main() { return 0; }`,
+		`int main() { int x; int x; return 0; }`,
+		`int lock; int main() { return 0; }`,
+		`int main() { getenv(3); }`,
+		`int main() { thread_create(3); }`,
+		`int arr[4]; int main() { arr = 3; return 0; }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile("t.c", src); err == nil {
+			t.Errorf("no lowering error for %q", src)
+		}
+	}
+}
+
+func TestShadowingInNestedScope(t *testing.T) {
+	_, err := Compile("t.c", `
+int main() {
+	int x = 1;
+	{
+		int x = 2;
+		print(x);
+	}
+	return x;
+}`)
+	if err != nil {
+		t.Fatalf("nested shadowing should be legal: %v", err)
+	}
+}
+
+func TestNoMainRejected(t *testing.T) {
+	if _, err := Compile("t.c", `int f() { return 0; }`); err == nil {
+		t.Fatal("program without main should fail verification")
+	}
+}

@@ -1,0 +1,880 @@
+package lang
+
+import (
+	"fmt"
+
+	"esd/internal/expr"
+	"esd/internal/mir"
+)
+
+// Compile parses and lowers a MiniC translation unit to a verified MIR
+// program.
+func Compile(file, src string) (*mir.Program, error) {
+	ast, err := Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(ast)
+}
+
+// MustCompile is Compile that panics on error (for tests and fixtures).
+func MustCompile(file, src string) *mir.Program {
+	p, err := Compile(file, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// builtinArity maps builtin names to their argument counts (-1 = variable).
+var builtinArity = map[string]int{
+	"getchar": 0, "getenv": 1, "input": 1, "print": 1, "assert": 1,
+	"abort": 1, "malloc": 1, "free": 1,
+	"thread_create": -1, "thread_join": 1,
+	"mutex_init": 1, "lock": 1, "unlock": 1,
+	"cond_wait": 2, "cond_signal": 1, "cond_broadcast": 1,
+	"yield": 0,
+}
+
+type localVar struct {
+	slot int // register holding the pointer to the variable's stack slot
+}
+
+type lowerer struct {
+	file    string
+	prog    *mir.Program
+	funcs   map[string]*FuncDecl
+	globals map[string]*GlobalDecl
+	strings map[string]string // literal -> global name
+
+	b      *mir.Builder
+	scopes []map[string]localVar
+	breaks []*mir.Block
+	conts  []*mir.Block
+}
+
+// Lower translates a parsed file to MIR.
+func Lower(f *File) (*mir.Program, error) {
+	lo := &lowerer{
+		file:    f.Name,
+		prog:    mir.NewProgram(f.Name),
+		funcs:   map[string]*FuncDecl{},
+		globals: map[string]*GlobalDecl{},
+		strings: map[string]string{},
+	}
+	for _, g := range f.Globals {
+		if _, dup := lo.globals[g.Name]; dup {
+			return nil, lo.errf(g.Line, "duplicate global %q", g.Name)
+		}
+		if _, isBuiltin := builtinArity[g.Name]; isBuiltin {
+			return nil, lo.errf(g.Line, "%q shadows a builtin", g.Name)
+		}
+		lo.globals[g.Name] = g
+		lo.prog.AddGlobal(&mir.Global{Name: g.Name, Size: int(g.Size), Init: g.Init})
+	}
+	for _, fd := range f.Funcs {
+		if _, dup := lo.funcs[fd.Name]; dup {
+			return nil, lo.errf(fd.Line, "duplicate function %q", fd.Name)
+		}
+		if _, isBuiltin := builtinArity[fd.Name]; isBuiltin {
+			return nil, lo.errf(fd.Line, "function %q shadows a builtin", fd.Name)
+		}
+		if _, isGlobal := lo.globals[fd.Name]; isGlobal {
+			return nil, lo.errf(fd.Line, "function %q collides with a global", fd.Name)
+		}
+		lo.funcs[fd.Name] = fd
+	}
+	for _, fd := range f.Funcs {
+		if err := lo.lowerFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	if err := lo.prog.Verify(); err != nil {
+		return nil, err
+	}
+	return lo.prog, nil
+}
+
+func (lo *lowerer) errf(line int, format string, args ...interface{}) error {
+	return &Error{File: lo.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lo *lowerer) pos(line int) mir.Pos { return mir.Pos{File: lo.file, Line: line} }
+
+func (lo *lowerer) lowerFunc(fd *FuncDecl) error {
+	lo.b = mir.NewFuncBuilder(fd.Name, fd.Params...)
+	lo.b.F.Pos = lo.pos(fd.Line)
+	lo.b.SetPos(lo.pos(fd.Line))
+	lo.scopes = []map[string]localVar{{}}
+	lo.breaks, lo.conts = nil, nil
+
+	// Parameters get stack slots so they are ordinary lvalues.
+	for i, p := range fd.Params {
+		if _, dup := lo.scopes[0][p]; dup {
+			return lo.errf(fd.Line, "duplicate parameter %q", p)
+		}
+		slot := lo.b.EmitAlloca(1)
+		lo.b.EmitStore(mir.R(slot), mir.I(0), mir.R(i))
+		lo.scopes[0][p] = localVar{slot: slot}
+	}
+	if err := lo.lowerBlock(fd.Body); err != nil {
+		return err
+	}
+	// Seal every open block: the current one (implicit `return 0`) and any
+	// unreachable blocks created after terminators ("dead", "post.abort").
+	for _, blk := range lo.b.F.Blocks {
+		if t := blk.Term(); t == nil || !t.Op.IsTerminator() {
+			lo.b.SetBlock(blk)
+			lo.b.EmitRet(mir.I(0))
+		}
+	}
+	lo.prog.AddFunc(lo.b.F)
+	return nil
+}
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]localVar{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) lookup(name string) (localVar, bool) {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if v, ok := lo.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (lo *lowerer) lowerBlock(b *BlockStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	for _, s := range b.Stmts {
+		if err := lo.lowerStmt(s); err != nil {
+			return err
+		}
+		if lo.b.Terminated() {
+			// Dead code after return/abort still needs somewhere to go so
+			// lowering stays simple; a fresh unreachable block absorbs it.
+			lo.b.NewBlock("dead")
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return lo.lowerBlock(st)
+
+	case *VarDecl:
+		lo.b.SetPos(lo.pos(st.Line))
+		scope := lo.scopes[len(lo.scopes)-1]
+		if _, dup := scope[st.Name]; dup {
+			return lo.errf(st.Line, "duplicate variable %q in scope", st.Name)
+		}
+		if _, isBuiltin := builtinArity[st.Name]; isBuiltin {
+			return lo.errf(st.Line, "%q shadows a builtin", st.Name)
+		}
+		slot := lo.b.EmitAlloca(1)
+		if st.ArraySize != nil {
+			size, ok := constFold(st.ArraySize)
+			var arr int
+			if ok {
+				if size <= 0 {
+					return lo.errf(st.Line, "array %q has non-positive size %d", st.Name, size)
+				}
+				arr = lo.b.EmitAlloca(size)
+			} else {
+				n, err := lo.lowerExpr(st.ArraySize)
+				if err != nil {
+					return err
+				}
+				arr = lo.b.NewReg()
+				lo.b.Emit(&mir.Instr{Op: mir.Malloc, Dst: arr, A: n})
+			}
+			lo.b.EmitStore(mir.R(slot), mir.I(0), mir.R(arr))
+		} else if st.Init != nil {
+			v, err := lo.lowerExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			lo.b.EmitStore(mir.R(slot), mir.I(0), v)
+		} else {
+			lo.b.EmitStore(mir.R(slot), mir.I(0), mir.I(0))
+		}
+		scope[st.Name] = localVar{slot: slot}
+		return nil
+
+	case *IfStmt:
+		lo.b.SetPos(lo.pos(st.Line))
+		cond, err := lo.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		save := lo.b.Current()
+		thenB := lo.b.NewBlock("if.then")
+		if err := lo.lowerStmt(st.Then); err != nil {
+			return err
+		}
+		thenEnd := lo.b.Current()
+		var elseB, elseEnd *mir.Block
+		if st.Else != nil {
+			elseB = lo.b.NewBlock("if.else")
+			if err := lo.lowerStmt(st.Else); err != nil {
+				return err
+			}
+			elseEnd = lo.b.Current()
+		}
+		end := lo.b.NewBlock("if.end")
+		lo.b.SetBlock(save)
+		if elseB != nil {
+			lo.b.EmitBr(cond, thenB, elseB)
+		} else {
+			lo.b.EmitBr(cond, thenB, end)
+		}
+		lo.b.SetBlock(thenEnd)
+		if !lo.b.Terminated() {
+			lo.b.EmitJmp(end)
+		}
+		if elseEnd != nil {
+			lo.b.SetBlock(elseEnd)
+			if !lo.b.Terminated() {
+				lo.b.EmitJmp(end)
+			}
+		}
+		lo.b.SetBlock(end)
+		return nil
+
+	case *WhileStmt:
+		lo.b.SetPos(lo.pos(st.Line))
+		pre := lo.b.Current()
+		head := lo.b.NewBlock("while.head")
+		lo.b.SetBlock(pre)
+		lo.b.EmitJmp(head)
+		lo.b.SetBlock(head)
+		cond, err := lo.lowerExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		condEnd := lo.b.Current()
+		body := lo.b.NewBlock("while.body")
+		end := lo.b.NewBlock("while.end")
+		lo.b.SetBlock(condEnd)
+		lo.b.EmitBr(cond, body, end)
+
+		lo.breaks = append(lo.breaks, end)
+		lo.conts = append(lo.conts, head)
+		lo.b.SetBlock(body)
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if !lo.b.Terminated() {
+			lo.b.EmitJmp(head)
+		}
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+		lo.b.SetBlock(end)
+		return nil
+
+	case *ForStmt:
+		lo.b.SetPos(lo.pos(st.Line))
+		lo.pushScope()
+		defer lo.popScope()
+		if st.Init != nil {
+			if err := lo.lowerStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		pre := lo.b.Current()
+		head := lo.b.NewBlock("for.head")
+		lo.b.SetBlock(pre)
+		lo.b.EmitJmp(head)
+		lo.b.SetBlock(head)
+		var cond mir.Operand = mir.I(1)
+		if st.Cond != nil {
+			var err error
+			cond, err = lo.lowerExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+		}
+		condEnd := lo.b.Current()
+		body := lo.b.NewBlock("for.body")
+		post := lo.b.NewBlock("for.post")
+		end := lo.b.NewBlock("for.end")
+		lo.b.SetBlock(condEnd)
+		lo.b.EmitBr(cond, body, end)
+
+		lo.breaks = append(lo.breaks, end)
+		lo.conts = append(lo.conts, post)
+		lo.b.SetBlock(body)
+		if err := lo.lowerStmt(st.Body); err != nil {
+			return err
+		}
+		if !lo.b.Terminated() {
+			lo.b.EmitJmp(post)
+		}
+		lo.breaks = lo.breaks[:len(lo.breaks)-1]
+		lo.conts = lo.conts[:len(lo.conts)-1]
+
+		lo.b.SetBlock(post)
+		if st.Post != nil {
+			if err := lo.lowerStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		if !lo.b.Terminated() {
+			lo.b.EmitJmp(head)
+		}
+		lo.b.SetBlock(end)
+		return nil
+
+	case *ReturnStmt:
+		lo.b.SetPos(lo.pos(st.Line))
+		v := mir.I(0)
+		if st.Value != nil {
+			var err error
+			v, err = lo.lowerExpr(st.Value)
+			if err != nil {
+				return err
+			}
+		}
+		lo.b.EmitRet(v)
+		return nil
+
+	case *BreakStmt:
+		if len(lo.breaks) == 0 {
+			return lo.errf(st.Line, "break outside loop")
+		}
+		lo.b.SetPos(lo.pos(st.Line))
+		lo.b.EmitJmp(lo.breaks[len(lo.breaks)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(lo.conts) == 0 {
+			return lo.errf(st.Line, "continue outside loop")
+		}
+		lo.b.SetPos(lo.pos(st.Line))
+		lo.b.EmitJmp(lo.conts[len(lo.conts)-1])
+		return nil
+
+	case *ExprStmt:
+		lo.b.SetPos(lo.pos(st.Line))
+		_, err := lo.lowerExpr(st.X)
+		return err
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+func constFold(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Val, true
+	case *UnaryExpr:
+		if x.Op == TokMinus {
+			if v, ok := constFold(x.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+var tokToALU = map[TokKind]expr.Op{
+	TokPlus: expr.OpAdd, TokMinus: expr.OpSub, TokStar: expr.OpMul,
+	TokSlash: expr.OpDiv, TokPercent: expr.OpMod,
+	TokAmp: expr.OpAnd, TokPipe: expr.OpOr, TokCaret: expr.OpXor,
+	TokShl: expr.OpShl, TokShr: expr.OpShr,
+	TokEq: expr.OpEq, TokNe: expr.OpNe, TokLt: expr.OpLt, TokLe: expr.OpLe,
+	TokGt: expr.OpGt, TokGe: expr.OpGe,
+}
+
+// lowerExpr emits code for e and returns the operand holding its value.
+func (lo *lowerer) lowerExpr(e Expr) (mir.Operand, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return mir.I(x.Val), nil
+
+	case *StringLit:
+		name := lo.internString(x.Val)
+		r := lo.b.EmitGlobalAddr(name)
+		return mir.R(r), nil
+
+	case *Ident:
+		if v, ok := lo.lookup(x.Name); ok {
+			r := lo.b.EmitLoad(mir.R(v.slot), mir.I(0))
+			return mir.R(r), nil
+		}
+		if g, ok := lo.globals[x.Name]; ok {
+			addr := lo.b.EmitGlobalAddr(x.Name)
+			if g.IsArray {
+				return mir.R(addr), nil // arrays decay to pointers
+			}
+			r := lo.b.EmitLoad(mir.R(addr), mir.I(0))
+			return mir.R(r), nil
+		}
+		if _, ok := lo.funcs[x.Name]; ok {
+			d := lo.b.NewReg()
+			lo.b.Emit(&mir.Instr{Op: mir.FuncAddr, Dst: d, Sym: x.Name})
+			return mir.R(d), nil
+		}
+		return mir.NoOperand, lo.errf(x.Line, "undefined identifier %q", x.Name)
+
+	case *UnaryExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		switch x.Op {
+		case TokAmp:
+			// &function yields a function value for indirect calls.
+			if id, ok := x.X.(*Ident); ok {
+				if _, isFn := lo.funcs[id.Name]; isFn {
+					d := lo.b.NewReg()
+					lo.b.Emit(&mir.Instr{Op: mir.FuncAddr, Dst: d, Sym: id.Name})
+					return mir.R(d), nil
+				}
+			}
+			addr, off, err := lo.lowerAddr(x.X)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			return lo.emitPtrAdd(addr, off), nil
+		case TokStar:
+			p, err := lo.lowerExpr(x.X)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			r := lo.b.EmitLoad(p, mir.I(0))
+			return mir.R(r), nil
+		case TokBang:
+			v, err := lo.lowerExpr(x.X)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			return mir.R(lo.b.EmitUn(int(expr.OpNot), v)), nil
+		case TokMinus:
+			v, err := lo.lowerExpr(x.X)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			return mir.R(lo.b.EmitUn(int(expr.OpNeg), v)), nil
+		case TokTilde:
+			v, err := lo.lowerExpr(x.X)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			return mir.R(lo.b.EmitUn(int(expr.OpBNot), v)), nil
+		}
+		return mir.NoOperand, lo.errf(x.Line, "unsupported unary operator %s", x.Op)
+
+	case *BinaryExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		if x.Op == TokAndAnd || x.Op == TokOrOr {
+			// Eager lowering when both operands are side-effect- and
+			// fault-free: produces a single conditional branch over a
+			// conjunction term, which the static phase can decompose into
+			// critical edges and intermediate goals (§3.2). Impure
+			// operands get the usual short-circuit CFG.
+			if lo.isPure(x.X) && lo.isPure(x.Y) {
+				a, err := lo.lowerExpr(x.X)
+				if err != nil {
+					return mir.NoOperand, err
+				}
+				b, err := lo.lowerExpr(x.Y)
+				if err != nil {
+					return mir.NoOperand, err
+				}
+				op := expr.OpLAnd
+				if x.Op == TokOrOr {
+					op = expr.OpLOr
+				}
+				return mir.R(lo.b.EmitBin(int(op), a, b)), nil
+			}
+			return lo.lowerShortCircuit(x)
+		}
+		a, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		b, err := lo.lowerExpr(x.Y)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		op, ok := tokToALU[x.Op]
+		if !ok {
+			return mir.NoOperand, lo.errf(x.Line, "unsupported binary operator %s", x.Op)
+		}
+		return mir.R(lo.b.EmitBin(int(op), a, b)), nil
+
+	case *CondExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		tmp := lo.b.EmitAlloca(1)
+		cond, err := lo.lowerExpr(x.Cond)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		save := lo.b.Current()
+		thenB := lo.b.NewBlock("sel.then")
+		tv, err := lo.lowerExpr(x.Then)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.EmitStore(mir.R(tmp), mir.I(0), tv)
+		thenEnd := lo.b.Current()
+		elseB := lo.b.NewBlock("sel.else")
+		fv, err := lo.lowerExpr(x.Else)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.EmitStore(mir.R(tmp), mir.I(0), fv)
+		elseEnd := lo.b.Current()
+		end := lo.b.NewBlock("sel.end")
+		lo.b.SetBlock(save)
+		lo.b.EmitBr(cond, thenB, elseB)
+		lo.b.SetBlock(thenEnd)
+		lo.b.EmitJmp(end)
+		lo.b.SetBlock(elseEnd)
+		lo.b.EmitJmp(end)
+		lo.b.SetBlock(end)
+		return mir.R(lo.b.EmitLoad(mir.R(tmp), mir.I(0))), nil
+
+	case *IndexExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		base, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		idx, err := lo.lowerExpr(x.Index)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		return mir.R(lo.b.EmitLoad(base, idx)), nil
+
+	case *CallExpr:
+		return lo.lowerCall(x)
+
+	case *AssignExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		addr, off, err := lo.lowerAddr(x.Lhs)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		rhs, err := lo.lowerExpr(x.Rhs)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		if x.Op != TokAssign {
+			old := lo.b.EmitLoad(addr, off)
+			op := expr.OpAdd
+			if x.Op == TokMinusAssign {
+				op = expr.OpSub
+			}
+			rhs = mir.R(lo.b.EmitBin(int(op), mir.R(old), rhs))
+		}
+		lo.b.EmitStore(addr, off, rhs)
+		return rhs, nil
+
+	case *IncDecExpr:
+		lo.b.SetPos(lo.pos(x.Line))
+		addr, off, err := lo.lowerAddr(x.Lhs)
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		old := lo.b.EmitLoad(addr, off)
+		op := expr.OpAdd
+		if x.Op == TokMinusMinus {
+			op = expr.OpSub
+		}
+		nv := lo.b.EmitBin(int(op), mir.R(old), mir.I(1))
+		lo.b.EmitStore(addr, off, mir.R(nv))
+		return mir.R(old), nil
+	}
+	return mir.NoOperand, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+// lowerAddr computes the (pointer, offset) pair designating an lvalue.
+func (lo *lowerer) lowerAddr(e Expr) (mir.Operand, mir.Operand, error) {
+	switch x := e.(type) {
+	case *Ident:
+		if v, ok := lo.lookup(x.Name); ok {
+			return mir.R(v.slot), mir.I(0), nil
+		}
+		if g, ok := lo.globals[x.Name]; ok {
+			if g.IsArray {
+				return mir.NoOperand, mir.NoOperand, lo.errf(x.Line, "array %q is not assignable", x.Name)
+			}
+			addr := lo.b.EmitGlobalAddr(x.Name)
+			return mir.R(addr), mir.I(0), nil
+		}
+		return mir.NoOperand, mir.NoOperand, lo.errf(x.Line, "undefined identifier %q", x.Name)
+	case *IndexExpr:
+		base, err := lo.lowerExpr(x.X)
+		if err != nil {
+			return mir.NoOperand, mir.NoOperand, err
+		}
+		idx, err := lo.lowerExpr(x.Index)
+		if err != nil {
+			return mir.NoOperand, mir.NoOperand, err
+		}
+		return base, idx, nil
+	case *UnaryExpr:
+		if x.Op == TokStar {
+			p, err := lo.lowerExpr(x.X)
+			if err != nil {
+				return mir.NoOperand, mir.NoOperand, err
+			}
+			return p, mir.I(0), nil
+		}
+	}
+	return mir.NoOperand, mir.NoOperand, lo.errf(exprLine(e), "expression is not assignable")
+}
+
+// emitPtrAdd materializes addr+off as a single pointer value.
+func (lo *lowerer) emitPtrAdd(addr, off mir.Operand) mir.Operand {
+	if off.Kind == mir.Imm && off.Val == 0 {
+		return addr
+	}
+	return mir.R(lo.b.EmitBin(int(expr.OpAdd), addr, off))
+}
+
+// isPure reports whether evaluating e has no side effects and cannot
+// fault: scalar variable reads, literals, and total arithmetic over pure
+// operands. Array indexing, dereferences, divisions, and calls are impure.
+func (lo *lowerer) isPure(e Expr) bool {
+	switch x := e.(type) {
+	case *NumberLit, *StringLit:
+		return true
+	case *Ident:
+		return true // slot/global loads cannot fault
+	case *UnaryExpr:
+		switch x.Op {
+		case TokBang, TokMinus, TokTilde:
+			return lo.isPure(x.X)
+		}
+		return false
+	case *BinaryExpr:
+		switch x.Op {
+		case TokSlash, TokPercent:
+			return false // division can fault
+		}
+		return lo.isPure(x.X) && lo.isPure(x.Y)
+	case *CondExpr:
+		return lo.isPure(x.Cond) && lo.isPure(x.Then) && lo.isPure(x.Else)
+	}
+	return false
+}
+
+func (lo *lowerer) lowerShortCircuit(x *BinaryExpr) (mir.Operand, error) {
+	tmp := lo.b.EmitAlloca(1)
+	a, err := lo.lowerExpr(x.X)
+	if err != nil {
+		return mir.NoOperand, err
+	}
+	save := lo.b.Current()
+	rhsB := lo.b.NewBlock("sc.rhs")
+	bv, err := lo.lowerExpr(x.Y)
+	if err != nil {
+		return mir.NoOperand, err
+	}
+	bt := lo.b.EmitBin(int(expr.OpNe), bv, mir.I(0))
+	lo.b.EmitStore(mir.R(tmp), mir.I(0), mir.R(bt))
+	rhsEnd := lo.b.Current()
+	shortB := lo.b.NewBlock("sc.short")
+	if x.Op == TokAndAnd {
+		lo.b.EmitStore(mir.R(tmp), mir.I(0), mir.I(0))
+	} else {
+		lo.b.EmitStore(mir.R(tmp), mir.I(0), mir.I(1))
+	}
+	end := lo.b.NewBlock("sc.end")
+	lo.b.SetBlock(save)
+	if x.Op == TokAndAnd {
+		lo.b.EmitBr(a, rhsB, shortB)
+	} else {
+		lo.b.EmitBr(a, shortB, rhsB)
+	}
+	lo.b.SetBlock(rhsEnd)
+	lo.b.EmitJmp(end)
+	lo.b.SetBlock(shortB)
+	lo.b.EmitJmp(end)
+	lo.b.SetBlock(end)
+	return mir.R(lo.b.EmitLoad(mir.R(tmp), mir.I(0))), nil
+}
+
+func (lo *lowerer) lowerCall(x *CallExpr) (mir.Operand, error) {
+	lo.b.SetPos(lo.pos(x.Line))
+	if arity, isBuiltin := builtinArity[x.Name]; isBuiltin {
+		if arity >= 0 && len(x.Args) != arity {
+			return mir.NoOperand, lo.errf(x.Line, "builtin %s expects %d argument(s), got %d", x.Name, arity, len(x.Args))
+		}
+		return lo.lowerBuiltin(x)
+	}
+	if fd, ok := lo.funcs[x.Name]; ok {
+		if len(x.Args) != len(fd.Params) {
+			return mir.NoOperand, lo.errf(x.Line, "%s expects %d argument(s), got %d", x.Name, len(fd.Params), len(x.Args))
+		}
+		args := make([]mir.Operand, len(x.Args))
+		for i, a := range x.Args {
+			v, err := lo.lowerExpr(a)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			args[i] = v
+		}
+		return mir.R(lo.b.EmitCall(x.Name, args...)), nil
+	}
+	// Indirect call through a function-valued variable.
+	if _, ok := lo.lookup(x.Name); ok {
+		fv, err := lo.lowerExpr(&Ident{Name: x.Name, Line: x.Line})
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		args := make([]mir.Operand, len(x.Args))
+		for i, a := range x.Args {
+			v, err := lo.lowerExpr(a)
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			args[i] = v
+		}
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.Call, Dst: d, Sym: "", A: fv, Args: args})
+		return mir.R(d), nil
+	}
+	return mir.NoOperand, lo.errf(x.Line, "call to undefined function %q", x.Name)
+}
+
+func (lo *lowerer) lowerBuiltin(x *CallExpr) (mir.Operand, error) {
+	evalArgs := func() ([]mir.Operand, error) {
+		out := make([]mir.Operand, len(x.Args))
+		for i, a := range x.Args {
+			v, err := lo.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch x.Name {
+	case "getchar":
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.Getchar, Dst: d})
+		return mir.R(d), nil
+	case "getenv":
+		s, ok := x.Args[0].(*StringLit)
+		if !ok {
+			return mir.NoOperand, lo.errf(x.Line, "getenv argument must be a string literal")
+		}
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.Getenv, Dst: d, Sym: s.Val})
+		return mir.R(d), nil
+	case "input":
+		s, ok := x.Args[0].(*StringLit)
+		if !ok {
+			return mir.NoOperand, lo.errf(x.Line, "input argument must be a string literal")
+		}
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.Input, Dst: d, Sym: s.Val})
+		return mir.R(d), nil
+	case "print":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.Print, A: args[0]})
+		return mir.I(0), nil
+	case "assert":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.Assert, A: args[0]})
+		return mir.I(0), nil
+	case "abort":
+		s, ok := x.Args[0].(*StringLit)
+		if !ok {
+			return mir.NoOperand, lo.errf(x.Line, "abort argument must be a string literal")
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.Abort, Sym: s.Val})
+		lo.b.NewBlock("post.abort")
+		return mir.I(0), nil
+	case "malloc":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.Malloc, Dst: d, A: args[0]})
+		return mir.R(d), nil
+	case "free":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.Free, A: args[0]})
+		return mir.I(0), nil
+	case "thread_create":
+		if len(x.Args) < 1 || len(x.Args) > 2 {
+			return mir.NoOperand, lo.errf(x.Line, "thread_create expects (function [, arg])")
+		}
+		fn, ok := x.Args[0].(*Ident)
+		if !ok {
+			return mir.NoOperand, lo.errf(x.Line, "thread_create: first argument must name a function")
+		}
+		if _, declared := lo.funcs[fn.Name]; !declared {
+			return mir.NoOperand, lo.errf(x.Line, "thread_create: undefined function %q", fn.Name)
+		}
+		arg := mir.I(0)
+		if len(x.Args) == 2 {
+			v, err := lo.lowerExpr(x.Args[1])
+			if err != nil {
+				return mir.NoOperand, err
+			}
+			arg = v
+		}
+		d := lo.b.NewReg()
+		lo.b.Emit(&mir.Instr{Op: mir.ThreadCreate, Dst: d, Sym: fn.Name, A: arg})
+		return mir.R(d), nil
+	case "thread_join":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.ThreadJoin, A: args[0]})
+		return mir.I(0), nil
+	case "mutex_init", "lock", "unlock", "cond_signal", "cond_broadcast":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		op := map[string]mir.Opcode{
+			"mutex_init": mir.MutexInit, "lock": mir.MutexLock,
+			"unlock": mir.MutexUnlock, "cond_signal": mir.CondSignal,
+			"cond_broadcast": mir.CondBroadcast,
+		}[x.Name]
+		lo.b.Emit(&mir.Instr{Op: op, A: args[0]})
+		return mir.I(0), nil
+	case "cond_wait":
+		args, err := evalArgs()
+		if err != nil {
+			return mir.NoOperand, err
+		}
+		lo.b.Emit(&mir.Instr{Op: mir.CondWait, A: args[0], B: args[1]})
+		return mir.I(0), nil
+	case "yield":
+		lo.b.Emit(&mir.Instr{Op: mir.Yield})
+		return mir.I(0), nil
+	}
+	return mir.NoOperand, lo.errf(x.Line, "unknown builtin %q", x.Name)
+}
+
+func (lo *lowerer) internString(s string) string {
+	if name, ok := lo.strings[s]; ok {
+		return name
+	}
+	name := fmt.Sprintf(".str%d", len(lo.strings))
+	lo.strings[s] = name
+	init := make([]int64, len(s)+1)
+	for i := 0; i < len(s); i++ {
+		init[i] = int64(s[i])
+	}
+	lo.prog.AddGlobal(&mir.Global{Name: name, Size: len(s) + 1, Init: init})
+	return name
+}

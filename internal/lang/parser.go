@@ -1,0 +1,657 @@
+package lang
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	file string
+	lex  *Lexer
+	tok  Token
+	next Token
+	err  error
+}
+
+// Parse parses a MiniC translation unit.
+func Parse(file, src string) (*File, error) {
+	p := &Parser{file: file, lex: NewLexer(file, src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{Name: file}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseTopDecl(f); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) advance() error {
+	p.tok = p.next
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.next = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return &Error{File: p.file, Line: p.tok.Line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, found %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *Parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *Parser) parseTopDecl(f *File) error {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TokInt, TokVoid:
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected declaration, found %s", p.tok.Kind)
+	}
+	// Optional pointer stars (ignored; MiniC is single-typed).
+	for p.tok.Kind == TokStar {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TokLParen {
+		fd, err := p.parseFuncRest(name.Text, line)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fd)
+		return nil
+	}
+	gd, err := p.parseGlobalRest(name.Text, line)
+	if err != nil {
+		return err
+	}
+	f.Globals = append(f.Globals, gd)
+	return nil
+}
+
+func (p *Parser) parseGlobalRest(name string, line int) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name, Size: 1, Line: line}
+	if ok, err := p.accept(TokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		if n.Val <= 0 {
+			return nil, p.errf("global array %s has non-positive size %d", name, n.Val)
+		}
+		g.Size = n.Val
+		g.IsArray = true
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.accept(TokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind == TokLBrace {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				v, err := p.constValue()
+				if err != nil {
+					return nil, err
+				}
+				g.Init = append(g.Init, v)
+				if ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			if int64(len(g.Init)) > g.Size {
+				return nil, p.errf("too many initializers for %s", name)
+			}
+		} else {
+			v, err := p.constValue()
+			if err != nil {
+				return nil, err
+			}
+			g.Init = []int64{v}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) constValue() (int64, error) {
+	neg := false
+	if ok, err := p.accept(TokMinus); err != nil {
+		return 0, err
+	} else if ok {
+		neg = true
+	}
+	switch p.tok.Kind {
+	case TokNumber, TokChar:
+		v := p.tok.Val
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}
+	return 0, p.errf("expected constant, found %s", p.tok.Kind)
+}
+
+func (p *Parser) parseFuncRest(name string, line int) (*FuncDecl, error) {
+	fd := &FuncDecl{Name: name, Line: line}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		for {
+			switch p.tok.Kind {
+			case TokInt, TokVoid:
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			for p.tok.Kind == TokStar {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			fd.Params = append(fd.Params, id.Text)
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, p.advance()
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokInt:
+		return p.parseVarDecl()
+	case TokIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if ok, err := p.accept(TokElse); err != nil {
+			return nil, err
+		} else if ok {
+			els, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: line}, nil
+	case TokWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var val Expr
+		if p.tok.Kind != TokSemi {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Line: line}, nil
+	case TokBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case TokContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	case TokSemi:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BlockStmt{Line: line}, nil // empty statement
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: line}, nil
+	}
+}
+
+func (p *Parser) parseVarDecl() (Stmt, error) {
+	line := p.tok.Line
+	if _, err := p.expect(TokInt); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: id.Text, Line: line}
+	if ok, err := p.accept(TokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		size, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.ArraySize = size
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.accept(TokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Line: line}
+	if p.tok.Kind != TokSemi {
+		if p.tok.Kind == TokInt {
+			s, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = s
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &ExprStmt{X: x, Line: exprLine(x)}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = c
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = &ExprStmt{X: x, Line: exprLine(x)}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// Expression parsing, precedence climbing.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *IndexExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == TokStar
+	}
+	return false
+}
+
+func (p *Parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokAssign, TokPlusAssign, TokMinusAssign:
+		op := p.tok.Kind
+		line := p.tok.Line
+		if !isLvalue(lhs) {
+			return nil, p.errf("left side of assignment is not assignable")
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: op, Lhs: lhs, Rhs: rhs, Line: line}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokQuestion {
+		return cond, nil
+	}
+	line := p.tok.Line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+// binary operator precedence (higher binds tighter)
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		line := p.tok.Line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TokBang, TokMinus, TokTilde, TokStar, TokAmp:
+		op := p.tok.Kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x, Line: line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			line := p.tok.Line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: line}
+		case TokPlusPlus, TokMinusMinus:
+			op := p.tok.Kind
+			line := p.tok.Line
+			if !isLvalue(x) {
+				return nil, p.errf("operand of %s is not assignable", op)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x = &IncDecExpr{Op: op, Lhs: x, Line: line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	line := p.tok.Line
+	switch p.tok.Kind {
+	case TokNumber, TokChar:
+		v := p.tok.Val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberLit{Val: v, Line: line}, nil
+	case TokString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StringLit{Val: s, Line: line}, nil
+	case TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Name: name, Line: line}
+			if p.tok.Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if ok, err := p.accept(TokComma); err != nil {
+						return nil, err
+					} else if !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: name, Line: line}, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok.Kind)
+}

@@ -1,0 +1,113 @@
+// Package lang implements MiniC, the C-like source language the evaluated
+// programs are written in, and its compiler to MIR.
+//
+// MiniC stands in for the C front-end + LLVM lowering the paper uses: a
+// single word-sized integer type, pointers, arrays, functions, the usual
+// statements and operators (with short-circuit && and ||), plus intrinsics
+// for program input (getchar, getenv, input), memory (malloc, free), and
+// POSIX-style threads (thread_create/join, lock/unlock, condition
+// variables). The compiler is a classic lexer → parser → semantic check →
+// lowering pipeline with source positions preserved for the debugger.
+package lang
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+
+	// Keywords
+	TokInt
+	TokVoid
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokSemi
+	TokComma
+	TokAssign
+	TokPlusAssign
+	TokMinusAssign
+	TokPlusPlus
+	TokMinusMinus
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokShl
+	TokShr
+	TokBang
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokQuestion
+	TokColon
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number",
+	TokString: "string", TokChar: "char literal",
+	TokInt: "'int'", TokVoid: "'void'", TokIf: "'if'", TokElse: "'else'",
+	TokWhile: "'while'", TokFor: "'for'", TokReturn: "'return'",
+	TokBreak: "'break'", TokContinue: "'continue'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokAssign: "'='", TokPlusAssign: "'+='", TokMinusAssign: "'-='",
+	TokPlusPlus: "'++'", TokMinusMinus: "'--'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokPercent: "'%'", TokAmp: "'&'", TokPipe: "'|'", TokCaret: "'^'",
+	TokTilde: "'~'", TokShl: "'<<'", TokShr: "'>>'", TokBang: "'!'",
+	TokEq: "'=='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokQuestion: "'?'", TokColon: "':'",
+}
+
+// String returns a human-readable token kind name.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text or string literal contents
+	Val  int64  // number / char value
+	Line int
+}
+
+var keywords = map[string]TokKind{
+	"int": TokInt, "void": TokVoid, "if": TokIf, "else": TokElse,
+	"while": TokWhile, "for": TokFor, "return": TokReturn,
+	"break": TokBreak, "continue": TokContinue,
+}

@@ -1,0 +1,135 @@
+package mir
+
+import "fmt"
+
+// Builder incrementally constructs a Func. The lang lowering, the BPF
+// program generator, and tests all use it; it takes care of register
+// allocation, block creation, and terminator hygiene.
+type Builder struct {
+	F   *Func
+	cur *Block
+	pos Pos
+}
+
+// NewFuncBuilder starts a function with the given parameters. Parameter i
+// occupies register i.
+func NewFuncBuilder(name string, params ...string) *Builder {
+	f := &Func{Name: name, Params: params, NumRegs: len(params)}
+	b := &Builder{F: f}
+	b.NewBlock("entry")
+	return b
+}
+
+// SetPos sets the source position attached to subsequently emitted
+// instructions.
+func (b *Builder) SetPos(p Pos) { b.pos = p }
+
+// NewBlock appends a fresh block and makes it current.
+func (b *Builder) NewBlock(label string) *Block {
+	blk := &Block{ID: len(b.F.Blocks), Label: label}
+	b.F.Blocks = append(b.F.Blocks, blk)
+	b.cur = blk
+	return blk
+}
+
+// SetBlock switches emission to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Current returns the block under construction.
+func (b *Builder) Current() *Block { return b.cur }
+
+// NewReg allocates a fresh virtual register.
+func (b *Builder) NewReg() int {
+	r := b.F.NumRegs
+	b.F.NumRegs++
+	return r
+}
+
+// Emit appends in to the current block. It panics if the block already has
+// a terminator (a builder bug, not a user error).
+func (b *Builder) Emit(in *Instr) *Instr {
+	if t := b.cur.Term(); t != nil && t.Op.IsTerminator() {
+		panic(fmt.Sprintf("mir: emit %s after terminator in %s b%d", in.Op, b.F.Name, b.cur.ID))
+	}
+	if in.Pos == (Pos{}) {
+		in.Pos = b.pos
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+// Terminated reports whether the current block already ends in a
+// terminator.
+func (b *Builder) Terminated() bool {
+	t := b.cur.Term()
+	return t != nil && t.Op.IsTerminator()
+}
+
+// EmitConst emits dst = v and returns dst.
+func (b *Builder) EmitConst(v int64) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Const, Dst: d, Imm: v})
+	return d
+}
+
+// EmitBin emits dst = a <op> b and returns dst. op is an expr.Op value.
+func (b *Builder) EmitBin(op int, a, c Operand) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Bin, Dst: d, ALU: op, A: a, B: c})
+	return d
+}
+
+// EmitUn emits dst = <op> a and returns dst.
+func (b *Builder) EmitUn(op int, a Operand) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Un, Dst: d, ALU: op, A: a})
+	return d
+}
+
+// EmitAlloca emits dst = alloca(size) and returns dst.
+func (b *Builder) EmitAlloca(size int64) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Alloca, Dst: d, Imm: size})
+	return d
+}
+
+// EmitLoad emits dst = *(addr+off) and returns dst.
+func (b *Builder) EmitLoad(addr, off Operand) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Load, Dst: d, A: addr, B: off})
+	return d
+}
+
+// EmitStore emits *(addr+off) = val.
+func (b *Builder) EmitStore(addr, off, val Operand) {
+	b.Emit(&Instr{Op: Store, A: addr, B: off, C: val})
+}
+
+// EmitCall emits dst = callee(args...) and returns dst.
+func (b *Builder) EmitCall(callee string, args ...Operand) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: Call, Dst: d, Sym: callee, Args: args})
+	return d
+}
+
+// EmitBr emits a conditional branch terminator.
+func (b *Builder) EmitBr(cond Operand, then, els *Block) {
+	b.Emit(&Instr{Op: Br, Dst: -1, A: cond, Then: then.ID, Else: els.ID})
+}
+
+// EmitJmp emits an unconditional jump terminator.
+func (b *Builder) EmitJmp(to *Block) {
+	b.Emit(&Instr{Op: Jmp, Dst: -1, Then: to.ID})
+}
+
+// EmitRet emits a return terminator.
+func (b *Builder) EmitRet(v Operand) {
+	b.Emit(&Instr{Op: Ret, Dst: -1, A: v})
+}
+
+// EmitGlobalAddr emits dst = &global and returns dst.
+func (b *Builder) EmitGlobalAddr(name string) int {
+	d := b.NewReg()
+	b.Emit(&Instr{Op: GlobalAddr, Dst: d, Sym: name})
+	return d
+}

@@ -1,0 +1,173 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildValid() *Program {
+	p := NewProgram("t")
+	p.AddGlobal(&Global{Name: "g", Size: 4, Init: []int64{1, 2}})
+	b := NewFuncBuilder("main")
+	r := b.EmitConst(7)
+	addr := b.EmitGlobalAddr("g")
+	b.EmitStore(R(addr), I(0), R(r))
+	v := b.EmitLoad(R(addr), I(0))
+	b.EmitRet(R(v))
+	p.AddFunc(b.F)
+	return p
+}
+
+func TestVerifyValid(t *testing.T) {
+	if err := buildValid().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsMissingMain(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("f")
+	b.EmitRet(I(0))
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("missing main not rejected")
+	}
+}
+
+func TestVerifyRejectsBadBranchTarget(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("main")
+	b.Emit(&Instr{Op: Br, A: I(1), Then: 5, Else: 0})
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("bad branch target not rejected")
+	}
+}
+
+func TestVerifyRejectsRegisterOutOfRange(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("main")
+	b.Emit(&Instr{Op: Un, Dst: 99, ALU: 0, A: I(1)})
+	b.EmitRet(I(0))
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("out-of-range register not rejected")
+	}
+}
+
+func TestVerifyRejectsUndefinedCallee(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("main")
+	b.EmitCall("nothere")
+	b.EmitRet(I(0))
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("undefined callee not rejected")
+	}
+}
+
+func TestVerifyRejectsUndefinedGlobal(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("main")
+	b.EmitGlobalAddr("nope")
+	b.EmitRet(I(0))
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("undefined global not rejected")
+	}
+}
+
+func TestVerifyRejectsMisplacedTerminator(t *testing.T) {
+	p := NewProgram("t")
+	b := NewFuncBuilder("main")
+	blk := b.Current()
+	blk.Instrs = append(blk.Instrs,
+		&Instr{Op: Ret, A: I(0)},
+		&Instr{Op: Nop})
+	p.AddFunc(b.F)
+	if err := p.Verify(); err == nil {
+		t.Fatal("instruction after terminator not rejected")
+	}
+}
+
+func TestBuilderPanicsOnEmitAfterTerminator(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := NewFuncBuilder("main")
+	b.EmitRet(I(0))
+	b.EmitConst(1)
+}
+
+func TestSuccs(t *testing.T) {
+	b := NewFuncBuilder("main")
+	entry := b.Current()
+	thenB := b.NewBlock("then")
+	b.EmitRet(I(1))
+	elseB := b.NewBlock("else")
+	b.EmitRet(I(2))
+	b.SetBlock(entry)
+	b.EmitBr(I(1), thenB, elseB)
+	s := entry.Succs()
+	if len(s) != 2 || s[0] != thenB.ID || s[1] != elseB.ID {
+		t.Fatalf("Succs = %v", s)
+	}
+	if len(thenB.Succs()) != 0 {
+		t.Fatal("ret block should have no successors")
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	if !MutexLock.IsSync() || !ThreadJoin.IsSync() || Load.IsSync() {
+		t.Fatal("IsSync misclassifies")
+	}
+	if !Load.IsMemAccess() || !Store.IsMemAccess() || Const.IsMemAccess() {
+		t.Fatal("IsMemAccess misclassifies")
+	}
+	for _, op := range []Opcode{Ret, Br, Jmp, Abort} {
+		if !op.IsTerminator() {
+			t.Fatalf("%v should be a terminator", op)
+		}
+	}
+	if Const.IsTerminator() {
+		t.Fatal("Const is not a terminator")
+	}
+	if !Call.WritesDst() || Store.WritesDst() {
+		t.Fatal("WritesDst misclassifies")
+	}
+}
+
+func TestDumpAndInstrAt(t *testing.T) {
+	p := buildValid()
+	s := p.String()
+	for _, want := range []string{"func main", "global g[4]", "gaddr"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s)
+		}
+	}
+	in := p.InstrAt(Loc{Fn: "main", Block: 0, Index: 0})
+	if in == nil || in.Op != Const {
+		t.Fatalf("InstrAt = %v", in)
+	}
+	if p.InstrAt(Loc{Fn: "main", Block: 9, Index: 0}) != nil {
+		t.Fatal("out-of-range InstrAt should be nil")
+	}
+	if p.InstrAt(Loc{Fn: "zz", Block: 0, Index: 0}) != nil {
+		t.Fatal("unknown function InstrAt should be nil")
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	p := buildValid()
+	if n := p.NumInstrs(); n != 5 {
+		t.Fatalf("NumInstrs = %d, want 5", n)
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if R(3).String() != "r3" || I(-2).String() != "-2" || NoOperand.String() != "_" {
+		t.Fatal("operand rendering broken")
+	}
+}

@@ -1,0 +1,235 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"esd/internal/lang"
+	"esd/internal/solver"
+	"esd/internal/symex"
+	"esd/internal/trace"
+	"esd/internal/usersite"
+)
+
+// traceOf runs src concretely under a random preemptive schedule and
+// converts the resulting execution into a trace (schedule + inputs).
+func traceOf(t *testing.T, src string, in symex.InputProvider, seed int64) (*trace.Execution, *symex.State) {
+	t.Helper()
+	prog := lang.MustCompile("t.c", src)
+	st, err := usersite.RunOnce(prog, in, usersite.Options{PreemptPercent: 40}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := trace.FromState(st, solver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, st
+}
+
+const prodConsumer = `
+int m;
+int cv;
+int ready;
+int data;
+int producer(int x) {
+	lock(&m);
+	data = x;
+	ready = 1;
+	cond_signal(&cv);
+	unlock(&m);
+	return 0;
+}
+int main() {
+	int t = thread_create(producer, 41);
+	lock(&m);
+	while (!ready) cond_wait(&cv, &m);
+	int d = data + 1;
+	unlock(&m);
+	thread_join(t);
+	return d;
+}`
+
+func TestStrictReplayReproducesExitCode(t *testing.T) {
+	prog := lang.MustCompile("t.c", prodConsumer)
+	for seed := int64(0); seed < 5; seed++ {
+		ex, orig := traceOf(t, prodConsumer, &usersite.Inputs{}, seed)
+		p, err := NewPlayer(prog, ex, Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := p.Run(1_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if final.Status != orig.Status {
+			t.Fatalf("seed %d: status %v, want %v", seed, final.Status, orig.Status)
+		}
+		a, _ := final.ExitCode.E.IsConst()
+		b, _ := orig.ExitCode.E.IsConst()
+		if a != b {
+			t.Fatalf("seed %d: exit %d, want %d", seed, a, b)
+		}
+		if final.Steps != orig.Steps {
+			t.Fatalf("seed %d: steps %d, want %d", seed, final.Steps, orig.Steps)
+		}
+	}
+}
+
+func TestHappensBeforeReplayPreservesSyncOrder(t *testing.T) {
+	prog := lang.MustCompile("t.c", prodConsumer)
+	ex, orig := traceOf(t, prodConsumer, &usersite.Inputs{}, 3)
+	p, err := NewPlayer(prog, ex, HappensBefore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := p.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != orig.Status {
+		t.Fatalf("status %v, want %v", final.Status, orig.Status)
+	}
+	if len(final.SyncEvents) != len(orig.SyncEvents) {
+		t.Fatalf("sync events %d, want %d", len(final.SyncEvents), len(orig.SyncEvents))
+	}
+	for i := range final.SyncEvents {
+		if final.SyncEvents[i].Tid != orig.SyncEvents[i].Tid || final.SyncEvents[i].Op != orig.SyncEvents[i].Op {
+			t.Fatalf("event %d differs: %+v vs %+v", i, final.SyncEvents[i], orig.SyncEvents[i])
+		}
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	prog := lang.MustCompile("t.c", prodConsumer)
+	ex, _ := traceOf(t, prodConsumer, &usersite.Inputs{}, 1)
+	var sums []int64
+	for i := 0; i < 3; i++ {
+		p, err := NewPlayer(prog, ex, Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := p.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, final.Steps)
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Fatalf("non-deterministic playback: %v", sums)
+	}
+}
+
+func TestBreakpointsAndStepping(t *testing.T) {
+	src := `
+int g;
+int bump(int n) {
+	g = g + n;
+	return g;
+}
+int main() {
+	bump(3);
+	bump(4);
+	return g;
+}`
+	prog := lang.MustCompile("t.c", src)
+	ex, _ := traceOf(t, src, &usersite.Inputs{}, 0)
+	p, err := NewPlayer(prog, ex, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddBreakpoint("t.c", 4) // g = g + n
+	hits := 0
+	for {
+		hit, err := p.Continue(100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			break
+		}
+		hits++
+		if bt := p.Backtrace(); len(bt) != 2 || !strings.Contains(bt[0], "bump") {
+			t.Fatalf("backtrace at breakpoint: %v", bt)
+		}
+		if err := p.StepInstr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("breakpoint hits = %d, want 2", hits)
+	}
+	if !p.Done() {
+		t.Fatal("player should have finished")
+	}
+	g, err := p.ReadGlobal("g")
+	if err != nil || g[0] != 7 {
+		t.Fatalf("g = %v (%v)", g, err)
+	}
+}
+
+func TestDivergenceDetected(t *testing.T) {
+	src := `
+int worker(int x) { return x; }
+int main() {
+	int t = thread_create(worker, 1);
+	thread_join(t);
+	return 0;
+}`
+	prog := lang.MustCompile("t.c", src)
+	ex, _ := traceOf(t, src, &usersite.Inputs{}, 0)
+	// Corrupt the schedule: make a segment reference an impossible thread.
+	for i := range ex.Schedule {
+		ex.Schedule[i].Tid = 5
+	}
+	p, err := NewPlayer(prog, ex, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(100_000); err == nil {
+		t.Fatal("corrupted schedule replayed without divergence error")
+	}
+}
+
+func TestInputPlaybackFeedsProgram(t *testing.T) {
+	src := `
+int main() {
+	int a = getchar();
+	int b = getchar();
+	return a * 100 + b;
+}`
+	prog := lang.MustCompile("t.c", src)
+	in := &usersite.Inputs{Stdin: []int64{3, 7}}
+	ex, orig := traceOf(t, src, in, 0)
+	p, err := NewPlayer(prog, ex, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := p.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := final.ExitCode.E.IsConst()
+	b, _ := orig.ExitCode.E.IsConst()
+	if a != b || a != 307 {
+		t.Fatalf("exit = %d, want 307", a)
+	}
+}
+
+func TestThreadsSummaryAndWhere(t *testing.T) {
+	prog := lang.MustCompile("t.c", prodConsumer)
+	ex, _ := traceOf(t, prodConsumer, &usersite.Inputs{}, 2)
+	p, err := NewPlayer(prog, ex, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.StepInstr(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Where() == "" || len(p.ThreadsSummary()) == 0 {
+		t.Fatal("inspection output empty")
+	}
+	if _, err := p.ReadGlobal("no_such"); err == nil {
+		t.Fatal("unknown global accepted")
+	}
+}

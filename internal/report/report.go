@@ -1,0 +1,242 @@
+// Package report models bug reports and coredumps, and extracts search
+// goals <B,C> from them (§3.1).
+//
+// A Report is what the developer receives from the field: the bug class
+// (crash / deadlock / race-triggered failure), the final call stack of each
+// thread, and for crashes the faulting location and machine condition. It
+// deliberately contains nothing about inputs or scheduling — those are
+// exactly what execution synthesis reconstructs. Reports are produced
+// FromState (the simulated "user site") and serialize to JSON for the
+// esdsynth CLI.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"esd/internal/mir"
+	"esd/internal/symex"
+)
+
+// Kind is the bug class a report describes (the --crash/--deadlock/--race
+// hint of §8).
+type Kind int
+
+// Bug classes.
+const (
+	KindCrash Kind = iota
+	KindDeadlock
+	KindRace
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindDeadlock:
+		return "deadlock"
+	case KindRace:
+		return "race"
+	}
+	return "?"
+}
+
+// ThreadDump is one thread's final call stack, outermost frame first.
+type ThreadDump struct {
+	Tid   int       `json:"tid"`
+	Stack []mir.Loc `json:"stack"`
+}
+
+// Report is the coredump-derived bug report.
+type Report struct {
+	Program string       `json:"program"`
+	Kind    Kind         `json:"kind"`
+	Threads []ThreadDump `json:"threads"`
+
+	// Crash fields (goal <B,C>): B is the faulting instruction; the crash
+	// kind and message stand in for the machine condition C extracted from
+	// the coredump (e.g. "the dereferenced pointer was NULL").
+	FaultLoc  mir.Loc         `json:"fault_loc,omitempty"`
+	FaultKind symex.CrashKind `json:"fault_kind,omitempty"`
+	FaultTid  int             `json:"fault_tid,omitempty"`
+
+	// Deadlock fields: the blocked location of each deadlocked thread (the
+	// inner-lock sites, §4.1).
+	WaitLocs []mir.Loc `json:"wait_locs,omitempty"`
+}
+
+// FromState builds the report a user-site coredump of st would yield. It
+// fails if st did not actually fail (nothing to report).
+func FromState(st *symex.State) (*Report, error) {
+	r := &Report{Program: st.Prog.Name}
+	for _, t := range st.Threads {
+		if len(t.Frames) == 0 {
+			continue
+		}
+		r.Threads = append(r.Threads, ThreadDump{Tid: t.ID, Stack: t.Stack()})
+	}
+	switch st.Status {
+	case symex.StateCrashed:
+		r.Kind = KindCrash
+		r.FaultLoc = st.Crash.Loc
+		r.FaultKind = st.Crash.Kind
+		r.FaultTid = st.Crash.Tid
+		return r, nil
+	case symex.StateDeadlocked:
+		r.Kind = KindDeadlock
+		for _, tid := range st.Deadlock.Tids {
+			r.WaitLocs = append(r.WaitLocs, st.Deadlock.WaitLocs[tid])
+		}
+		sortLocs(r.WaitLocs)
+		return r, nil
+	default:
+		return nil, fmt.Errorf("report: state %d did not fail (%v)", st.ID, st.Status)
+	}
+}
+
+// SuspectedDeadlock builds a report from a static analyzer's finding: a
+// set of lock sites suspected to deadlock. This is the §8 triage usage —
+// static race/deadlock checkers produce many false positives, and ESD
+// validates each one by trying to synthesize an execution for it: a found
+// execution proves a true positive; exhausting the search space (or the
+// budget) flags a likely false positive.
+func SuspectedDeadlock(program string, waitLocs []mir.Loc) *Report {
+	r := &Report{
+		Program:  program,
+		Kind:     KindDeadlock,
+		WaitLocs: append([]mir.Loc(nil), waitLocs...),
+	}
+	sortLocs(r.WaitLocs)
+	return r
+}
+
+// SuspectedCrash builds a crash report from a static analyzer's finding:
+// a fault location and kind, with no stacks (none are known yet).
+func SuspectedCrash(program string, loc mir.Loc, kind symex.CrashKind) *Report {
+	return &Report{Program: program, Kind: KindCrash, FaultLoc: loc, FaultKind: kind}
+}
+
+// Goals returns the synthesis goals: the basic-block locations the search
+// must steer each thread toward. For crashes there is one goal (B); for
+// deadlocks, one per deadlocked thread (the inner-lock call sites).
+func (r *Report) Goals() []mir.Loc {
+	switch r.Kind {
+	case KindDeadlock:
+		return append([]mir.Loc(nil), r.WaitLocs...)
+	default:
+		return []mir.Loc{r.FaultLoc}
+	}
+}
+
+// Matches decides whether a terminal synthesis state exhibits the reported
+// bug — the dynamic check of condition C (§3.1, §4.1). Thread identities
+// need not match (any feasible execution with the same failure shape
+// explains the bug).
+func (r *Report) Matches(st *symex.State) bool {
+	switch r.Kind {
+	case KindCrash, KindRace:
+		return st.Status == symex.StateCrashed &&
+			st.Crash.Kind == r.FaultKind &&
+			st.Crash.Loc == r.FaultLoc
+	case KindDeadlock:
+		if st.Status != symex.StateDeadlocked {
+			return false
+		}
+		var got []mir.Loc
+		for _, tid := range st.Deadlock.Tids {
+			got = append(got, st.Deadlock.WaitLocs[tid])
+		}
+		sortLocs(got)
+		if len(got) != len(r.WaitLocs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != r.WaitLocs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsFailure reports whether st failed in a way worth reporting as *some*
+// bug (used for "different bug discovered" bookkeeping, §4.1).
+func IsFailure(st *symex.State) bool {
+	return st.Status == symex.StateCrashed || st.Status == symex.StateDeadlocked
+}
+
+// CommonStackPrefix returns the longest common prefix of the reported
+// threads' call stacks — the §4.2 heuristic for where fine-grained
+// race-preemption should begin. It returns nil for single-thread reports.
+func (r *Report) CommonStackPrefix() []mir.Loc {
+	if len(r.Threads) < 2 {
+		return nil
+	}
+	prefix := append([]mir.Loc(nil), r.Threads[0].Stack...)
+	for _, td := range r.Threads[1:] {
+		n := 0
+		for n < len(prefix) && n < len(td.Stack) && sameFrameFn(prefix[n], td.Stack[n]) {
+			n++
+		}
+		prefix = prefix[:n]
+	}
+	return prefix
+}
+
+// sameFrameFn compares frames by function (the paper matches procedures,
+// not exact instructions, since threads block at different points).
+func sameFrameFn(a, b mir.Loc) bool { return a.Fn == b.Fn }
+
+// Encode serializes the report to JSON (the coredump file format of the
+// esdsynth CLI).
+func (r *Report) Encode() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Decode parses a JSON report.
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("report: decode: %w", err)
+	}
+	return &r, nil
+}
+
+// String renders a human-readable report summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bug report: %s in %s\n", r.Kind, r.Program)
+	switch r.Kind {
+	case KindCrash, KindRace:
+		fmt.Fprintf(&b, "  fault: %s at %s (thread %d)\n", r.FaultKind, r.FaultLoc, r.FaultTid)
+	case KindDeadlock:
+		fmt.Fprintf(&b, "  deadlocked at:")
+		for _, l := range r.WaitLocs {
+			fmt.Fprintf(&b, " %s", l)
+		}
+		b.WriteString("\n")
+	}
+	for _, td := range r.Threads {
+		fmt.Fprintf(&b, "  thread %d:", td.Tid)
+		for _, l := range td.Stack {
+			fmt.Fprintf(&b, " %s", l)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func sortLocs(ls []mir.Loc) {
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := ls[i], ls[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Index < b.Index
+	})
+}

@@ -1,0 +1,154 @@
+package report
+
+import (
+	"testing"
+
+	"esd/internal/lang"
+	"esd/internal/mir"
+	"esd/internal/solver"
+	"esd/internal/symex"
+)
+
+func crashedState(t *testing.T, src string) *symex.State {
+	t.Helper()
+	prog := lang.MustCompile("t.c", src)
+	eng := symex.New(prog, solver.New())
+	eng.Inputs = noInputs{}
+	st, err := eng.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := eng.Run(st, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+type noInputs struct{}
+
+func (noInputs) Getchar(int) int64       { return -1 }
+func (noInputs) Getenv(string) []int64   { return nil }
+func (noInputs) Input(string, int) int64 { return 0 }
+
+func TestCrashReportRoundTrip(t *testing.T) {
+	st := crashedState(t, `
+int main() {
+	int *p = 0;
+	return *p;
+}`)
+	if st.Status != symex.StateCrashed {
+		t.Fatalf("setup: %v", st.Status)
+	}
+	rep, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindCrash || rep.FaultKind != symex.CrashSegFault {
+		t.Fatalf("report = %+v", rep)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != rep.Kind || back.FaultLoc != rep.FaultLoc {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+	if !back.Matches(st) {
+		t.Fatal("decoded report should match the originating state")
+	}
+	if len(back.Goals()) != 1 || back.Goals()[0] != rep.FaultLoc {
+		t.Fatalf("Goals = %v", back.Goals())
+	}
+}
+
+func TestDeadlockReportMatchesByLocation(t *testing.T) {
+	st := crashedState(t, `
+int m;
+int main() {
+	lock(&m);
+	lock(&m);
+	return 0;
+}`)
+	if st.Status != symex.StateDeadlocked {
+		t.Fatalf("setup: %v", st.Status)
+	}
+	rep, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindDeadlock || len(rep.WaitLocs) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !rep.Matches(st) {
+		t.Fatal("deadlock report should match its own state")
+	}
+}
+
+func TestMismatchedCrashRejected(t *testing.T) {
+	stA := crashedState(t, `
+int main() {
+	int *p = 0;
+	return *p;
+}`)
+	stB := crashedState(t, `
+int main() {
+	int x = 0;
+	return 1 / x;
+}`)
+	repA, _ := FromState(stA)
+	if repA.Matches(stB) {
+		t.Fatal("different crash matched")
+	}
+}
+
+func TestFromStateRejectsCleanExit(t *testing.T) {
+	st := crashedState(t, `int main() { return 0; }`)
+	if _, err := FromState(st); err == nil {
+		t.Fatal("clean exit produced a report")
+	}
+}
+
+func TestCommonStackPrefix(t *testing.T) {
+	r := &Report{
+		Threads: []ThreadDump{
+			{Tid: 1, Stack: []mir.Loc{{Fn: "main"}, {Fn: "serve"}, {Fn: "lockA"}}},
+			{Tid: 2, Stack: []mir.Loc{{Fn: "main"}, {Fn: "serve"}, {Fn: "lockB"}}},
+		},
+	}
+	p := r.CommonStackPrefix()
+	if len(p) != 2 || p[0].Fn != "main" || p[1].Fn != "serve" {
+		t.Fatalf("prefix = %v", p)
+	}
+	single := &Report{Threads: r.Threads[:1]}
+	if single.CommonStackPrefix() != nil {
+		t.Fatal("single-thread report has no prefix")
+	}
+}
+
+func TestIsFailure(t *testing.T) {
+	crash := crashedState(t, `int main() { int *p = 0; return *p; }`)
+	clean := crashedState(t, `int main() { return 0; }`)
+	if !IsFailure(crash) || IsFailure(clean) {
+		t.Fatal("IsFailure misclassifies")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	st := crashedState(t, `int main() { int *p = 0; return *p; }`)
+	rep, _ := FromState(st)
+	s := rep.String()
+	if s == "" || rep.Kind.String() != "crash" {
+		t.Fatal("rendering broken")
+	}
+}

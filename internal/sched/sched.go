@@ -1,0 +1,251 @@
+// Package sched implements ESD's thread-schedule synthesis policies (§4).
+//
+// The policies plug into the symbolic VM's preemption-point hooks
+// (symex.Policy). Three are provided:
+//
+//   - DeadlockPolicy implements §4.1: snapshot states K_S taken before
+//     every mutex acquisition, inner/outer-lock driven snapshot activation
+//     and preemption, and the near/far schedule-distance bias.
+//   - RacePolicy implements §4.2: preemption forking before accesses the
+//     race detector flags, gated by the common-stack-prefix heuristic.
+//   - BoundedPolicy implements the Chess-style preemption bounding the KC
+//     baseline uses (§7.2): fork every scheduling alternative at sync
+//     points, up to a preemption budget.
+package sched
+
+import (
+	"esd/internal/mir"
+	"esd/internal/symex"
+)
+
+// DeadlockPolicy steers schedule exploration toward a reported deadlock.
+type DeadlockPolicy struct {
+	// Goals are the inner-lock sites from the bug report: the lock
+	// statements the deadlocked threads were blocked on (§4.1).
+	Goals []mir.Loc
+
+	// MaxRollbacks bounds snapshot activations per state lineage. Without
+	// a bound, a single contended mutex whose acquisition site is a goal
+	// can roll back forever (each rollback recreates the symmetric
+	// situation); real deadlocks need only a handful. 0 means the default.
+	MaxRollbacks int
+
+	// Stats
+	SnapshotsTaken     int
+	SnapshotsActivated int
+	Preemptions        int
+}
+
+const defaultMaxRollbacks = 64
+
+var _ symex.Policy = (*DeadlockPolicy)(nil)
+
+func (p *DeadlockPolicy) isGoalSite(loc mir.Loc) bool {
+	for _, g := range p.Goals {
+		if g == loc {
+			return true
+		}
+	}
+	return false
+}
+
+// BeforeSync implements the §4.1 algorithm at mutex-acquisition sites.
+func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
+	if in.Op != mir.MutexLock {
+		return nil
+	}
+	key, ok := e.MutexKeyFor(st, in)
+	if !ok {
+		return nil
+	}
+	m := st.Mutexes[key]
+	if m == nil || m.Holder == -1 {
+		// The mutex is free: the current thread will acquire it. Take the
+		// <M, S'> snapshot: a state in which the thread is preempted just
+		// before acquiring M, so alternative schedules remain reachable.
+		if len(st.RunnableThreads()) > 1 {
+			snap := e.ForkState(st)
+			p.preemptCurrent(snap)
+			st.Snapshots[key] = snap
+			p.SnapshotsTaken++
+		}
+		return nil
+	}
+	// M is held by another thread T2 (or self). If M was acquired as T2's
+	// inner lock — the very lock site T2's goal names — then M could be the
+	// current thread's outer lock: activate the snapshot taken before T2
+	// acquired M, giving the current thread a chance to get M first.
+	limit := p.MaxRollbacks
+	if limit == 0 {
+		limit = defaultMaxRollbacks
+	}
+	if (p.isGoalSite(m.AcqLoc) || m.Holder == st.Cur) && st.Preemptions < limit {
+		if snap, has := st.Snapshots[key]; has && snap != nil {
+			delete(st.Snapshots, key)
+			// Activate a fork of the snapshot: sibling states may share the
+			// stored snapshot pointer through copied K_S maps, and a state
+			// must enter the search queue at most once.
+			act := e.ForkState(snap)
+			// Bias: the activated snapshot is near the deadlock; the
+			// blocked current state is deprioritized (§4.1).
+			act.SchedDist = symex.SchedNear
+			act.Preemptions = st.Preemptions + 1
+			st.SchedDist = symex.SchedFar
+			p.SnapshotsActivated++
+			return []*symex.State{act}
+		}
+	}
+	return nil
+}
+
+// AfterSync preempts a thread right after it acquires its inner (goal)
+// lock — keeping the lock held so another thread can come ask for it — and
+// maintains the K_S map: snapshots die when their mutex is unlocked.
+func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
+	switch in.Op {
+	case mir.MutexUnlock:
+		// A free mutex cannot be part of a deadlock (§4.1).
+		delete(st.Snapshots, key)
+	case mir.MutexLock, mir.CondWait:
+		m := st.Mutexes[key]
+		if m == nil || m.Holder != st.Cur {
+			return
+		}
+		if p.isGoalSite(m.AcqLoc) {
+			st.SchedDist = symex.SchedNear
+			p.preemptCurrent(st)
+		}
+	}
+}
+
+// PickNext delegates to round-robin.
+func (p *DeadlockPolicy) PickNext(e *symex.Engine, st *symex.State) int { return -1 }
+
+// preemptCurrent context-switches st away from its current thread if
+// another thread can run.
+func (p *DeadlockPolicy) preemptCurrent(st *symex.State) {
+	for _, tid := range st.RunnableThreads() {
+		if tid != st.Cur {
+			st.SwitchTo(tid)
+			st.Preemptions++
+			p.Preemptions++
+			return
+		}
+	}
+}
+
+// RacePolicy forks thread schedules before potentially racing accesses
+// (§4.2). The VM only consults it at accesses the race detector flagged.
+type RacePolicy struct {
+	// Prefix is the common stack prefix from the bug report; preemption
+	// forking is enabled only once every live thread's stack contains it
+	// (§4.2). Empty means always enabled.
+	Prefix []mir.Loc
+
+	// MaxForkedPreemptions bounds forked schedule alternatives per state
+	// lineage to keep the space in check.
+	MaxForkedPreemptions int
+
+	Preemptions int
+}
+
+var _ symex.Policy = (*RacePolicy)(nil)
+
+// prefixReached checks the §4.2 gating heuristic.
+func (p *RacePolicy) prefixReached(st *symex.State) bool {
+	if len(p.Prefix) == 0 {
+		return true
+	}
+	for _, t := range st.Threads {
+		if t.Status == symex.ThreadExited {
+			continue
+		}
+		stack := t.Stack()
+		if len(stack) < len(p.Prefix) {
+			return false
+		}
+		for i, want := range p.Prefix {
+			if stack[i].Fn != want.Fn {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BeforeSync forks one state per alternative runnable thread, preempting
+// the current thread before the flagged access or synchronization
+// operation (§4.2 places preemptions at both).
+func (p *RacePolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
+	if !p.prefixReached(st) {
+		return nil
+	}
+	max := p.MaxForkedPreemptions
+	if max == 0 {
+		max = 8
+	}
+	if st.Preemptions >= max {
+		return nil
+	}
+	var out []*symex.State
+	for _, tid := range st.RunnableThreads() {
+		if tid == st.Cur {
+			continue
+		}
+		fork := e.ForkState(st)
+		fork.SwitchTo(tid)
+		fork.Preemptions++
+		p.Preemptions++
+		out = append(out, fork)
+	}
+	return out
+}
+
+// AfterSync is a no-op for races.
+func (p *RacePolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
+}
+
+// PickNext delegates to round-robin.
+func (p *RacePolicy) PickNext(e *symex.Engine, st *symex.State) int { return -1 }
+
+// BoundedPolicy is the KC baseline's scheduler: iterative context bounding
+// after Chess [29], forking every alternative thread at every sync point,
+// with at most Limit forced preemptions per execution (ESD's evaluation
+// uses 2, §7.2).
+type BoundedPolicy struct {
+	Limit int
+
+	Preemptions int
+}
+
+var _ symex.Policy = (*BoundedPolicy)(nil)
+
+// BeforeSync forks one state per alternative runnable thread.
+func (p *BoundedPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
+	limit := p.Limit
+	if limit == 0 {
+		limit = 2
+	}
+	if st.Preemptions >= limit {
+		return nil
+	}
+	var out []*symex.State
+	for _, tid := range st.RunnableThreads() {
+		if tid == st.Cur {
+			continue
+		}
+		fork := e.ForkState(st)
+		fork.SwitchTo(tid)
+		fork.Preemptions++
+		p.Preemptions++
+		out = append(out, fork)
+	}
+	return out
+}
+
+// AfterSync is a no-op.
+func (p *BoundedPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
+}
+
+// PickNext delegates to round-robin.
+func (p *BoundedPolicy) PickNext(e *symex.Engine, st *symex.State) int { return -1 }

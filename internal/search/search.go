@@ -1,0 +1,546 @@
+// Package search implements ESD's path-and-schedule search (§3.3–§3.4),
+// plus the baseline strategies it is compared against (§7.2).
+//
+// The ESD strategy maintains n "virtual" priority queues, one per
+// intermediate goal derived by static analysis and one per final goal from
+// the bug report. Each queue orders the live execution states by the
+// proximity heuristic (internal/dist), biased heavily by the schedule
+// distance (§4.1). At every step a queue is chosen uniformly at random and
+// its best state runs for a quantum of instructions; forks join the pool,
+// and states that static analysis proves cannot reach the goal are
+// abandoned (the critical-edge pruning of §3.2).
+//
+// The baselines are DFS (exhaustive-equivalent) and RandomPath, each
+// combined with Chess-style preemption bounding for multithreaded programs
+// — the "KC" hybrid of §7.2.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"esd/internal/cfa"
+	"esd/internal/dist"
+	"esd/internal/mir"
+	"esd/internal/race"
+	"esd/internal/report"
+	"esd/internal/sched"
+	"esd/internal/solver"
+	"esd/internal/symex"
+)
+
+// Strategy selects the exploration order.
+type Strategy int
+
+// Strategies.
+const (
+	StrategyESD Strategy = iota
+	StrategyDFS
+	StrategyRandomPath
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyESD:
+		return "ESD"
+	case StrategyDFS:
+		return "DFS"
+	case StrategyRandomPath:
+		return "RandPath"
+	}
+	return "?"
+}
+
+// Options tunes a synthesis run.
+type Options struct {
+	Strategy Strategy
+	// Timeout bounds wall-clock time (0 = no limit).
+	Timeout time.Duration
+	// MaxSteps bounds total executed instructions (0 = default 50M).
+	MaxSteps int64
+	// Quantum is the number of instructions a picked state runs before the
+	// scheduler reconsiders (default 32).
+	Quantum int
+	// Seed drives the queue-selection randomness (deterministic runs).
+	Seed int64
+	// MaxStates caps the live state pool (default 8192).
+	MaxStates int
+
+	// PreemptionBound, when > 0, replaces ESD's bug-aware scheduling policy
+	// with Chess-style preemption bounding (the KC baseline; the paper
+	// uses bound 2).
+	PreemptionBound int
+	// WithRaceDetector enables the Eraser-style detector during synthesis
+	// (the --with-race-det flag of §8).
+	WithRaceDetector bool
+
+	// Ablations (§7.3 analysis of the three focusing techniques).
+	NoProximity         bool // ignore distance ordering (FIFO within queues)
+	NoIntermediateGoals bool // only final goals get queues
+	NoCriticalEdges     bool // disable static pruning
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Found is the synthesized failing state matching the report (nil if
+	// none found within budget).
+	Found *symex.State
+	// TimedOut distinguishes budget exhaustion from search-space
+	// exhaustion.
+	TimedOut bool
+
+	Duration      time.Duration
+	Steps         int64
+	StatesCreated int64
+	BranchForks   int64
+	SolverQueries int
+	SolverHits    int
+
+	// OtherBugs are failures found along the way that do not match the
+	// report (recorded and skipped, §4.1).
+	OtherBugs []string
+	// RaceFindings are potential races the detector flagged.
+	RaceFindings []race.Finding
+	// IntermediateGoalSets is the number of goal sets the static phase
+	// produced (reported for the evaluation).
+	IntermediateGoalSets int
+	// SnapshotsTaken/SnapshotsActivated report the deadlock policy's K_S
+	// activity (diagnostics).
+	SnapshotsTaken     int
+	SnapshotsActivated int
+}
+
+// Synthesize searches for an execution of prog matching rep.
+func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	if opts.Quantum == 0 {
+		opts.Quantum = 32
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 8192
+	}
+
+	goals := rep.Goals()
+	if len(goals) == 0 {
+		return nil, fmt.Errorf("search: report has no goals")
+	}
+	var analyses []*cfa.Analysis
+	for _, g := range goals {
+		a, err := cfa.Analyze(prog, g)
+		if err != nil {
+			return nil, err
+		}
+		analyses = append(analyses, a)
+	}
+
+	sol := solver.New()
+	eng := symex.New(prog, sol)
+
+	var detector *race.Detector
+	if opts.WithRaceDetector || rep.Kind == report.KindRace {
+		detector = race.NewDetector()
+		eng.Race = detector
+	}
+	switch {
+	case opts.PreemptionBound > 0:
+		eng.Policy = &sched.BoundedPolicy{Limit: opts.PreemptionBound}
+	case rep.Kind == report.KindDeadlock:
+		eng.Policy = &sched.DeadlockPolicy{Goals: goals}
+	case rep.Kind == report.KindRace || detector != nil:
+		// Race-directed scheduling also serves crash reports when race
+		// detection is enabled (§4.2: detection can be turned on even when
+		// debugging non-race bugs that manifest only under races).
+		eng.Policy = &sched.RacePolicy{Prefix: rep.CommonStackPrefix()}
+	}
+
+	// Build the goal queues: one per intermediate goal set, one per final
+	// goal (§3.4).
+	var queueGoals [][]mir.Loc
+	if !opts.NoIntermediateGoals {
+		for _, a := range analyses {
+			queueGoals = append(queueGoals, a.IntermediateGoals...)
+		}
+	}
+	nInter := len(queueGoals)
+	for _, g := range goals {
+		queueGoals = append(queueGoals, []mir.Loc{g})
+	}
+
+	s := &searcher{
+		opts:       opts,
+		prog:       prog,
+		rep:        rep,
+		eng:        eng,
+		sol:        sol,
+		analyses:   analyses,
+		calc:       dist.NewCalculator(prog),
+		queueGoals: queueGoals,
+		rng:        rand.New(rand.NewSource(opts.Seed + 1)),
+	}
+
+	res := &Result{IntermediateGoalSets: nInter}
+	start := time.Now()
+	init, err := eng.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	found, timedOut := s.run(init, start, res)
+	res.Found = found
+	res.TimedOut = timedOut
+	res.Duration = time.Since(start)
+	res.Steps = eng.Stats.Steps
+	res.StatesCreated = eng.Stats.States
+	res.BranchForks = eng.Stats.BranchForks
+	res.SolverQueries = sol.Queries
+	res.SolverHits = sol.CacheHits
+	if detector != nil {
+		res.RaceFindings = detector.Findings
+	}
+	if dp, ok := eng.Policy.(*sched.DeadlockPolicy); ok {
+		res.SnapshotsTaken = dp.SnapshotsTaken
+		res.SnapshotsActivated = dp.SnapshotsActivated
+	}
+	return res, nil
+}
+
+type searcher struct {
+	opts       Options
+	prog       *mir.Program
+	rep        *report.Report
+	eng        *symex.Engine
+	sol        *solver.Solver
+	analyses   []*cfa.Analysis
+	calc       *dist.Calculator
+	queueGoals [][]mir.Loc
+	rng        *rand.Rand
+
+	// pool is the set of live states. For DFS/RandomPath it is used as an
+	// ordered slice; for ESD, states additionally sit in the per-goal
+	// virtual priority queues (heaps with lazy deletion, §3.4 / §6.2).
+	pool  []*symex.State
+	alive map[*symex.State]bool
+	heaps []stateHeap
+}
+
+type heapEntry struct {
+	st  *symex.State
+	key esdKey
+}
+
+// stateHeap is a binary min-heap over esdKey.
+type stateHeap []heapEntry
+
+func (h *stateHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h)[i].key.less((*h)[p].key) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *stateHeap) pop() (heapEntry, bool) {
+	old := *h
+	if len(old) == 0 {
+		return heapEntry{}, false
+	}
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (*h)[l].key.less((*h)[m].key) {
+			m = l
+		}
+		if r < n && (*h)[r].key.less((*h)[m].key) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top, true
+}
+
+func (s *searcher) run(init *symex.State, start time.Time, res *Result) (*symex.State, bool) {
+	s.alive = map[*symex.State]bool{}
+	s.heaps = make([]stateHeap, len(s.queueGoals))
+	s.insert(init)
+	for len(s.alive) > 0 {
+		if s.budgetExceeded(start) {
+			return nil, true
+		}
+		st := s.pick()
+		if st == nil {
+			return nil, false
+		}
+		if found := s.quantum(st, res); found != nil {
+			return found, false
+		}
+		if len(s.alive) > s.opts.MaxStates {
+			s.shedStates()
+		}
+	}
+	return nil, false
+}
+
+// insert adds a live state to the pool and every virtual queue.
+func (s *searcher) insert(st *symex.State) {
+	s.alive[st] = true
+	if s.opts.Strategy == StrategyESD {
+		for q := range s.queueGoals {
+			s.heaps[q].push(heapEntry{st: st, key: s.esdKey(st, s.queueGoals[q])})
+		}
+	} else {
+		s.pool = append(s.pool, st)
+	}
+}
+
+// remove takes a state out of the pool (heap entries die lazily).
+func (s *searcher) remove(st *symex.State) {
+	delete(s.alive, st)
+}
+
+func (s *searcher) budgetExceeded(start time.Time) bool {
+	if s.opts.Timeout > 0 && time.Since(start) > s.opts.Timeout {
+		return true
+	}
+	return s.eng.Stats.Steps > s.opts.MaxSteps
+}
+
+// pick removes and returns the next state to run, per strategy.
+func (s *searcher) pick() *symex.State {
+	if s.opts.Strategy == StrategyESD {
+		return s.pickESD()
+	}
+	// DFS / RandomPath operate on the pool slice, compacting dead entries.
+	for len(s.pool) > 0 {
+		var idx int
+		switch s.opts.Strategy {
+		case StrategyDFS:
+			idx = len(s.pool) - 1 // most recently added
+		default:
+			idx = s.rng.Intn(len(s.pool))
+		}
+		st := s.pool[idx]
+		s.pool = append(s.pool[:idx], s.pool[idx+1:]...)
+		if s.alive[st] {
+			s.remove(st)
+			return st
+		}
+	}
+	return nil
+}
+
+// pickESD chooses a virtual queue uniformly at random and takes its best
+// live state: lowest (scheduleFar, distance, ID) — the §4.1 weighting
+// prefers near-schedule states over everything else. Entries for states
+// already taken are discarded lazily.
+func (s *searcher) pickESD() *symex.State {
+	for attempts := 0; attempts < 2*len(s.heaps); attempts++ {
+		q := s.rng.Intn(len(s.heaps))
+		for {
+			e, ok := s.heaps[q].pop()
+			if !ok {
+				break // this queue is drained; try another
+			}
+			if s.alive[e.st] {
+				s.remove(e.st)
+				return e.st
+			}
+		}
+	}
+	// All sampled queues empty: scan for any remaining live state.
+	for q := range s.heaps {
+		for {
+			e, ok := s.heaps[q].pop()
+			if !ok {
+				break
+			}
+			if s.alive[e.st] {
+				s.remove(e.st)
+				return e.st
+			}
+		}
+	}
+	return nil
+}
+
+type esdKey struct {
+	far  int // 0 when schedule-near (preferred)
+	dist int64
+	id   int
+}
+
+func (k esdKey) less(o esdKey) bool {
+	if k.far != o.far {
+		return k.far < o.far
+	}
+	if k.dist != o.dist {
+		return k.dist < o.dist
+	}
+	return k.id < o.id
+}
+
+func (s *searcher) esdKey(st *symex.State, goalSet []mir.Loc) esdKey {
+	far := 1
+	if st.SchedDist == symex.SchedNear {
+		far = 0
+	}
+	d := int64(0)
+	if !s.opts.NoProximity {
+		d = s.stateDistance(st, goalSet)
+	}
+	return esdKey{far: far, dist: d, id: st.ID}
+}
+
+// stateDistance estimates the state's proximity to the nearest member of
+// goalSet: the minimum over live threads of Algorithm 1's stack-aware
+// distance.
+func (s *searcher) stateDistance(st *symex.State, goalSet []mir.Loc) int64 {
+	best := int64(dist.Infinite)
+	for _, t := range st.Threads {
+		if t.Status == symex.ThreadExited {
+			continue
+		}
+		stack := t.Stack()
+		for _, g := range goalSet {
+			if d := s.calc.StateDistance(stack, g); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// quantum runs st for up to Quantum instructions, absorbing forks into the
+// pool. It returns a state matching the report if one terminates this
+// quantum.
+func (s *searcher) quantum(st *symex.State, res *Result) *symex.State {
+	for i := 0; i < s.opts.Quantum; i++ {
+		succ, err := s.eng.Step(st)
+		if err != nil {
+			// Engine-level errors abandon the state (they indicate an
+			// internal inconsistency, not a program failure).
+			return nil
+		}
+		if len(succ) == 0 {
+			return nil
+		}
+		// succ[0] is st (possibly terminal); the rest are forks.
+		for _, f := range succ[1:] {
+			if done := s.admit(f, res); done != nil {
+				return done
+			}
+		}
+		st = succ[0]
+		if st.Status != symex.StateRunning {
+			return s.terminal(st, res)
+		}
+	}
+	if s.prunable(st) {
+		return nil // statically cannot reach the goal: abandon (§3.2)
+	}
+	s.insert(st)
+	return nil
+}
+
+// admit inserts a freshly forked state into the pool (or classifies it if
+// it is already terminal).
+func (s *searcher) admit(f *symex.State, res *Result) *symex.State {
+	if f.Status != symex.StateRunning {
+		return s.terminal(f, res)
+	}
+	if s.prunable(f) {
+		return nil
+	}
+	s.insert(f)
+	return nil
+}
+
+// terminal classifies a finished state: the reported bug, a different bug,
+// or an uninteresting exit.
+func (s *searcher) terminal(st *symex.State, res *Result) *symex.State {
+	if s.rep.Matches(st) {
+		return st
+	}
+	if report.IsFailure(st) {
+		var desc string
+		if st.Crash != nil {
+			desc = st.Crash.String()
+		} else if st.Deadlock != nil {
+			desc = st.Deadlock.String()
+		}
+		if len(res.OtherBugs) < 64 {
+			res.OtherBugs = append(res.OtherBugs, desc)
+		}
+	}
+	return nil
+}
+
+// prunable implements critical-edge path abandonment: a state none of
+// whose threads can still reach some goal is dead (§3.2, §3.3).
+func (s *searcher) prunable(st *symex.State) bool {
+	if s.opts.NoCriticalEdges || s.opts.Strategy != StrategyESD {
+		return false
+	}
+	// Deadlock schedule synthesis deliberately runs threads PAST their
+	// goal locks and rolls them back through K_S snapshots (§4.1); as long
+	// as a state can still be rolled back, static reachability of its
+	// current program points is not evidence of deadness.
+	if s.rep.Kind == report.KindDeadlock && len(st.Snapshots) > 0 {
+		return false
+	}
+	for _, a := range s.analyses {
+		reachable := false
+		for _, t := range st.Threads {
+			if t.Status == symex.ThreadExited {
+				continue
+			}
+			if a.StackMayReachGoal(t.Stack()) {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			return true
+		}
+	}
+	return false
+}
+
+// shedStates drops the worst states when the pool overflows: keep the half
+// closest to the final goal.
+func (s *searcher) shedStates() {
+	goalSet := s.queueGoals[len(s.queueGoals)-1]
+	type scored struct {
+		st *symex.State
+		k  esdKey
+	}
+	arr := make([]scored, 0, len(s.alive))
+	for st := range s.alive {
+		arr = append(arr, scored{st, s.esdKey(st, goalSet)})
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i].k.less(arr[j].k) })
+	keep := len(arr) / 2
+	s.alive = make(map[*symex.State]bool, keep)
+	s.pool = s.pool[:0]
+	s.heaps = make([]stateHeap, len(s.queueGoals))
+	for i := 0; i < keep; i++ {
+		s.insert(arr[i].st)
+	}
+}

@@ -1,0 +1,211 @@
+package symex
+
+import (
+	"testing"
+
+	"esd/internal/lang"
+	"esd/internal/solver"
+)
+
+func TestPointerComparisons(t *testing.T) {
+	st := runConcrete(t, `
+int a[4];
+int b[4];
+int main() {
+	int *p = &a[1];
+	int *q = &a[3];
+	int r = 0;
+	if (p != q) { r += 1; }
+	if (q - p == 2) { r += 2; }
+	if (p < q) { r += 4; }
+	if (p == &a[1]) { r += 8; }
+	if (p != b) { r += 16; }       // different objects compare unequal
+	if (p == 0) { r += 32; }       // live pointer is never NULL
+	return r;
+}`)
+	if got := exitCode(t, st); got != 31 {
+		t.Fatalf("r = %d, want 31", got)
+	}
+}
+
+func TestCrossObjectPointerArithmeticCrashes(t *testing.T) {
+	st := runConcrete(t, `
+int a[4];
+int b[4];
+int main() {
+	int *p = a;
+	int *q = b;
+	return q - p;      // undefined: different objects
+}`)
+	if st.Status != StateCrashed {
+		t.Fatalf("want crash, got %s", st.Summary())
+	}
+}
+
+func TestShiftOperators(t *testing.T) {
+	st := runConcrete(t, `
+int main() {
+	int x = 1 << 6;      // 64
+	int y = 256 >> 2;    // 64
+	int z = x ^ y;       // 0
+	return x + y + z + (5 & 3) + (5 | 2);  // 64+64+0+1+7
+}`)
+	if got := exitCode(t, st); got != 136 {
+		t.Fatalf("exit = %d, want 136", got)
+	}
+}
+
+func TestNegativeModulo(t *testing.T) {
+	st := runConcrete(t, `
+int main() {
+	return (0 - 7) % 3 + 10;    // Go/C: -1 + 10
+}`)
+	if got := exitCode(t, st); got != 9 {
+		t.Fatalf("exit = %d, want 9", got)
+	}
+}
+
+func TestEnvBufferSharedAcrossForks(t *testing.T) {
+	// Both forks of a branch must see the same env object (consistent
+	// environment modeling, §3.4 "symbolic models ... keep all symbolic
+	// I/O consistent").
+	terms := exploreAll(t, `
+int main() {
+	int *e = getenv("HOME");
+	if (e[0] == '/') {
+		int *e2 = getenv("HOME");
+		assert(e == e2);
+		return 1;
+	}
+	int *e3 = getenv("HOME");
+	assert(e == e3);
+	return 2;
+}`, 10)
+	for _, st := range terms {
+		if st.Status == StateCrashed {
+			t.Fatalf("env consistency assert failed: %v", st.Crash)
+		}
+	}
+}
+
+func TestSolverBudgetAbortsPath(t *testing.T) {
+	prog := lang.MustCompile("t.c", `
+int main() {
+	int a = input("a");
+	int b = input("b");
+	int c = input("c");
+	if (a * b * c == 30031) {      // nonlinear: hard for the solver
+		return 1;
+	}
+	return 0;
+}`)
+	s := solver.New()
+	s.MaxNodes = 5 // starve the solver
+	e := New(prog, s)
+	st, err := e.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAborted := false
+	queue := []*State{st}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for cur.Status == StateRunning {
+			succ, err := e.Step(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = succ[0]
+			queue = append(queue, succ[1:]...)
+		}
+		if cur.Status == StateAborted {
+			sawAborted = true
+		}
+	}
+	if !sawAborted {
+		t.Skip("solver solved it within the tiny budget; acceptable")
+	}
+}
+
+func TestDeepCallStack(t *testing.T) {
+	st := runConcrete(t, `
+int down(int n) {
+	if (n == 0) { return 0; }
+	return down(n - 1) + 1;
+}
+int main() { return down(200); }`)
+	if got := exitCode(t, st); got != 200 {
+		t.Fatalf("exit = %d, want 200", got)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	st := runConcrete(t, `
+int scalar = -5;
+int tab[4] = {10, 20, 30};
+int main() {
+	return scalar + tab[0] + tab[1] + tab[2] + tab[3];   // -5+10+20+30+0
+}`)
+	if got := exitCode(t, st); got != 55 {
+		t.Fatalf("exit = %d, want 55", got)
+	}
+}
+
+func TestMutexKeysAreCellGranular(t *testing.T) {
+	// Two mutexes in adjacent cells of one array must be independent.
+	st := runConcrete(t, `
+int locks[2];
+int done;
+int w(int i) {
+	lock(&locks[i]);
+	done++;
+	unlock(&locks[i]);
+	return 0;
+}
+int main() {
+	lock(&locks[0]);
+	int t = thread_create(w, 1);   // uses locks[1]: no contention
+	thread_join(t);
+	unlock(&locks[0]);
+	return done;
+}`)
+	if got := exitCode(t, st); got != 1 {
+		t.Fatalf("exit = %d, want 1 (adjacent-cell mutexes must not alias)", got)
+	}
+}
+
+func TestSymbolicPointerSelection(t *testing.T) {
+	// A pointer chosen by a symbolic condition still works on both paths.
+	terms := exploreAll(t, `
+int a;
+int b;
+int main() {
+	int x = input("x");
+	int *p = &a;
+	if (x == 1) { p = &b; }
+	*p = 7;
+	if (x == 1) { return b; }
+	return a;
+}`, 10)
+	for _, st := range terms {
+		if st.Status == StateExited {
+			if c, _ := st.ExitCode.E.IsConst(); c != 7 {
+				t.Fatalf("exit = %d, want 7", c)
+			}
+		}
+	}
+}
+
+func TestStepOnTerminalStateErrors(t *testing.T) {
+	prog := lang.MustCompile("t.c", `int main() { return 0; }`)
+	e := New(prog, solver.New())
+	st, _ := e.InitialState()
+	final, err := e.Run(st, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(final); err == nil {
+		t.Fatal("stepping a terminal state must error")
+	}
+}

@@ -1,0 +1,334 @@
+package symex
+
+import (
+	"fmt"
+
+	"esd/internal/mir"
+	"esd/internal/solver"
+)
+
+// Policy is the scheduling-policy hook the schedule synthesizer
+// (internal/sched) plugs into the VM. A nil policy yields deterministic
+// round-robin cooperative scheduling (used for playback and fixtures).
+type Policy interface {
+	// BeforeSync is called once per dynamic sync-class instruction (or
+	// flagged racy access) before it executes. It may fork and return
+	// sibling states exploring alternative scheduling decisions; the input
+	// state proceeds to execute the instruction on its next step.
+	BeforeSync(e *Engine, st *State, in *mir.Instr) []*State
+	// AfterSync is called after a sync-class instruction executed; key is
+	// the affected mutex/condvar (NoMutex when not applicable).
+	AfterSync(e *Engine, st *State, in *mir.Instr, key MutexKey)
+	// PickNext chooses the next thread when the current one cannot run.
+	// Returning -1 delegates to round-robin.
+	PickNext(e *Engine, st *State) int
+}
+
+// InputProvider supplies concrete program inputs. When an Engine has one,
+// getchar/getenv/input return concrete values instead of fresh symbolic
+// variables — this is how the user-site simulator and the playback
+// environment (§5.2) drive the same VM concretely.
+type InputProvider interface {
+	// Getchar returns the seq-th stdin byte (-1 for EOF).
+	Getchar(seq int) int64
+	// Getenv returns the value cells of an environment variable (without
+	// the terminating NUL).
+	Getenv(name string) []int64
+	// Input returns the value of the named generic input.
+	Input(name string, seq int) int64
+}
+
+// RaceDetector is the hook internal/race plugs into the VM (§4.2).
+type RaceDetector interface {
+	// IsFlagged reports whether the instruction at loc was flagged as a
+	// potential data race (making it a preemption point).
+	IsFlagged(loc mir.Loc) bool
+	// Record observes a memory access before it executes.
+	Record(st *State, tid int, obj int, off int64, write bool, loc mir.Loc, held []MutexKey)
+}
+
+// Stats counts engine work for the evaluation harness.
+type Stats struct {
+	Steps       int64
+	Forks       int64
+	BranchForks int64
+	SchedForks  int64
+	States      int64
+}
+
+// Engine executes MIR programs symbolically.
+type Engine struct {
+	Prog   *mir.Program
+	Solver *solver.Solver
+	Policy Policy
+	Race   RaceDetector
+	// Inputs, when non-nil, makes execution fully concrete (no symbolic
+	// variables are ever introduced).
+	Inputs InputProvider
+
+	// EnvLen is the modeled length (cells, incl. NUL) of getenv buffers.
+	EnvLen int
+	// OnPrint, when set, receives values printed by the program.
+	OnPrint func(st *State, v Value)
+	// OnOtherBug, when set, is invoked for terminal states that a search
+	// may classify as "a different bug than the one looked for" (§4.1).
+	OnOtherBug func(st *State)
+
+	Stats Stats
+
+	nextStateID int
+	nextObjID   int
+}
+
+// New returns an engine for prog.
+func New(prog *mir.Program, s *solver.Solver) *Engine {
+	return &Engine{Prog: prog, Solver: s, EnvLen: 8, nextObjID: 1}
+}
+
+// NewObjID allocates a fresh object ID.
+func (e *Engine) NewObjID() int {
+	id := e.nextObjID
+	e.nextObjID++
+	return id
+}
+
+// ForkState forks st, assigning the child a fresh ID.
+func (e *Engine) ForkState(st *State) *State {
+	n := st.Fork()
+	n.ID = e.nextStateID
+	e.nextStateID++
+	e.Stats.Forks++
+	e.Stats.States++
+	return n
+}
+
+// InitialState builds the state at program entry: globals allocated and
+// initialized, one thread at main.
+func (e *Engine) InitialState() (*State, error) {
+	main, ok := e.Prog.Funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("symex: program has no main")
+	}
+	st := &State{
+		ID:          e.nextStateID,
+		Prog:        e.Prog,
+		Mem:         NewAddrSpace(),
+		Box:         solver.NewBox(),
+		Mutexes:     map[MutexKey]*MutexState{},
+		CondWaiters: map[MutexKey][]int{},
+		Snapshots:   map[MutexKey]*State{},
+		globalIDs:   map[string]int{},
+		envBufs:     map[string]int{},
+	}
+	e.nextStateID++
+	e.Stats.States++
+	for _, g := range e.Prog.Globals {
+		obj := &Object{ID: e.NewObjID(), Kind: ObjGlobal, Size: g.Size, Name: g.Name, Cells: make([]Value, g.Size)}
+		for i, v := range g.Init {
+			obj.Cells[i] = IntVal(v)
+		}
+		st.Mem.Add(obj)
+		st.globalIDs[g.Name] = obj.ID
+	}
+	frame := &Frame{Fn: main, Regs: make([]Value, main.NumRegs), RetDst: -1}
+	for i := range main.Params {
+		frame.Regs[i] = IntVal(0)
+	}
+	st.Threads = []*Thread{{ID: 0, Frames: []*Frame{frame}}}
+	st.Schedule = []SchedSegment{{Tid: 0}}
+	return st, nil
+}
+
+// Step advances st by (at most) one instruction of its scheduled thread.
+// It returns the set of live successor states: typically {st}, or {st,
+// fork} at a symbolic branch, or {} when the state terminated. Terminated
+// and policy-forked states are also returned so the search can inspect
+// them; callers check Status.
+func (e *Engine) Step(st *State) ([]*State, error) {
+	if st.Status != StateRunning {
+		return nil, fmt.Errorf("symex: step on %s state %d", st.Status, st.ID)
+	}
+	t := st.CurThread()
+	if t.Status != ThreadRunnable {
+		return e.reschedule(st)
+	}
+	in := st.CurrentInstr()
+	if in == nil {
+		return nil, fmt.Errorf("symex: thread %d of state %d has no instruction", t.ID, st.ID)
+	}
+	// Offer preemption points to the scheduling policy exactly once per
+	// dynamic (thread, location) instance.
+	loc := st.Loc()
+	approved := st.syncApproved != nil && st.syncApproved.Tid == t.ID && st.syncApproved.Loc == loc
+	if e.Policy != nil && !approved && e.isPreemptionPoint(st, in) {
+		st.syncApproved = &syncApproval{Tid: t.ID, Loc: loc}
+		extra := e.Policy.BeforeSync(e, st, in)
+		if len(extra) > 0 {
+			out := make([]*State, 0, 1+len(extra))
+			out = append(out, st)
+			out = append(out, extra...)
+			return out, nil
+		}
+		if st.Cur != t.ID {
+			// The policy preempted the current thread in place; the pending
+			// instruction executes when the thread is next scheduled.
+			return []*State{st}, nil
+		}
+	}
+	if approved {
+		st.syncApproved = nil
+	}
+	return e.exec(st, in)
+}
+
+func (e *Engine) isPreemptionPoint(st *State, in *mir.Instr) bool {
+	if in.Op.IsSync() {
+		return true
+	}
+	if in.Op.IsMemAccess() && e.Race != nil {
+		return e.Race.IsFlagged(st.Loc())
+	}
+	return false
+}
+
+// reschedule switches to another runnable thread or detects deadlock.
+func (e *Engine) reschedule(st *State) ([]*State, error) {
+	runnable := st.RunnableThreads()
+	if len(runnable) == 0 {
+		e.detectTerminal(st)
+		return []*State{st}, nil
+	}
+	next := -1
+	if e.Policy != nil {
+		next = e.Policy.PickNext(e, st)
+	}
+	if next < 0 || st.Thread(next) == nil || st.Thread(next).Status != ThreadRunnable {
+		// Round-robin: first runnable after Cur.
+		next = runnable[0]
+		for _, tid := range runnable {
+			if tid > st.Cur {
+				next = tid
+				break
+			}
+		}
+	}
+	st.SwitchTo(next)
+	return []*State{st}, nil
+}
+
+// detectTerminal classifies a state with no runnable threads: clean exit,
+// mutex-cycle deadlock, or no-progress deadlock (§4.1).
+func (e *Engine) detectTerminal(st *State) {
+	anyBlocked := false
+	for _, t := range st.Threads {
+		if t.Status != ThreadExited {
+			anyBlocked = true
+			break
+		}
+	}
+	if !anyBlocked {
+		st.Status = StateExited
+		return
+	}
+	st.Status = StateDeadlocked
+	st.Deadlock = e.analyzeDeadlock(st)
+}
+
+// analyzeDeadlock builds the resource-allocation-graph diagnosis [22].
+func (e *Engine) analyzeDeadlock(st *State) *DeadlockInfo {
+	// waits[tid] = holder tid of the mutex tid waits for (-1 none).
+	waits := map[int]int{}
+	locs := map[int]mir.Loc{}
+	var blocked []int
+	for _, t := range st.Threads {
+		if t.Status == ThreadExited {
+			continue
+		}
+		blocked = append(blocked, t.ID)
+		if f := t.Top(); f != nil {
+			locs[t.ID] = f.Loc()
+		}
+		if t.Status == ThreadBlockedMutex {
+			if m := st.Mutexes[t.WaitMutex]; m != nil && m.Holder >= 0 {
+				waits[t.ID] = m.Holder
+			}
+		}
+	}
+	// Cycle detection over the wait-for edges.
+	for _, start := range blocked {
+		seen := map[int]int{} // tid -> position in walk
+		cur := start
+		pos := 0
+		for {
+			h, ok := waits[cur]
+			if !ok {
+				break
+			}
+			if p, visited := seen[cur]; visited {
+				_ = p
+				break
+			}
+			seen[cur] = pos
+			pos++
+			if h == start {
+				// Found a cycle through start.
+				cycle := []int{start}
+				for n := waits[start]; n != start; n = waits[n] {
+					cycle = append(cycle, n)
+					if len(cycle) > len(st.Threads) {
+						break
+					}
+				}
+				wl := map[int]mir.Loc{}
+				for _, tid := range cycle {
+					wl[tid] = locs[tid]
+				}
+				return &DeadlockInfo{Tids: cycle, Cycle: true, WaitLocs: wl}
+			}
+			cur = h
+		}
+	}
+	wl := map[int]mir.Loc{}
+	for _, tid := range blocked {
+		wl[tid] = locs[tid]
+	}
+	return &DeadlockInfo{Tids: blocked, Cycle: false, WaitLocs: wl}
+}
+
+// EvalOperand evaluates an operand in the current thread's top frame
+// (exposed for scheduling policies).
+func (e *Engine) EvalOperand(st *State, op mir.Operand) Value {
+	return e.operand(st.CurThread().Top(), op)
+}
+
+// MutexKeyFor resolves the mutex/condvar a sync instruction operates on
+// (exposed for scheduling policies).
+func (e *Engine) MutexKeyFor(st *State, in *mir.Instr) (MutexKey, bool) {
+	switch in.Op {
+	case mir.MutexInit, mir.MutexLock, mir.MutexUnlock,
+		mir.CondWait, mir.CondSignal, mir.CondBroadcast:
+		return e.mutexKeyOf(st, e.EvalOperand(st, in.A))
+	}
+	return NoMutex, false
+}
+
+// Run drives st with round-robin scheduling until it terminates or
+// maxSteps instructions execute; symbolic branches must not occur (used
+// for concrete execution: fixtures and playback). It returns the final
+// state (which is st, mutated).
+func (e *Engine) Run(st *State, maxSteps int64) (*State, error) {
+	for st.Status == StateRunning && st.Steps < maxSteps {
+		succ, err := e.Step(st)
+		if err != nil {
+			return st, err
+		}
+		if len(succ) != 1 {
+			return st, fmt.Errorf("symex: concrete run forked at %s (%d successors)", st.Loc(), len(succ))
+		}
+		st = succ[0]
+	}
+	if st.Status == StateRunning {
+		return st, fmt.Errorf("symex: run exceeded %d steps", maxSteps)
+	}
+	return st, nil
+}

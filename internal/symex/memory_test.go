@@ -1,0 +1,171 @@
+package symex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"esd/internal/expr"
+	"esd/internal/solver"
+)
+
+func TestAddrSpaceBasics(t *testing.T) {
+	as := NewAddrSpace()
+	obj := &Object{ID: 1, Size: 4, Cells: make([]Value, 4)}
+	as.Add(obj)
+	if !as.Write(1, 2, IntVal(9)) {
+		t.Fatal("in-bounds write failed")
+	}
+	v, ok := as.Read(1, 2)
+	if !ok || !v.IsZero() == true && v.E == nil {
+		t.Fatal("read failed")
+	}
+	if c, _ := v.E.IsConst(); c != 9 {
+		t.Fatalf("read %v, want 9", v)
+	}
+	if _, ok := as.Read(1, 4); ok {
+		t.Fatal("out-of-bounds read succeeded")
+	}
+	if as.Write(1, -1, IntVal(0)) {
+		t.Fatal("negative-offset write succeeded")
+	}
+	if _, ok := as.Read(2, 0); ok {
+		t.Fatal("unknown object read succeeded")
+	}
+	// Uninitialized cells read as concrete zero.
+	z, ok := as.Read(1, 0)
+	if !ok || !z.IsZero() {
+		t.Fatalf("uninitialized cell = %v", z)
+	}
+}
+
+func TestFreedObjectInaccessible(t *testing.T) {
+	as := NewAddrSpace()
+	as.Add(&Object{ID: 7, Size: 2, Cells: make([]Value, 2)})
+	if !as.MarkFreed(7) {
+		t.Fatal("MarkFreed failed")
+	}
+	if as.MarkFreed(7) {
+		t.Fatal("double MarkFreed succeeded")
+	}
+	if _, ok := as.Read(7, 0); ok {
+		t.Fatal("read of freed object succeeded")
+	}
+	if as.Write(7, 0, IntVal(1)) {
+		t.Fatal("write to freed object succeeded")
+	}
+}
+
+// Property (testing/quick): after a fork, writes on either side are
+// invisible to the other — object-level copy-on-write isolation.
+func TestCOWIsolationQuick(t *testing.T) {
+	f := func(objCount uint8, ops []uint16) bool {
+		n := int(objCount%8) + 1
+		parent := NewAddrSpace()
+		for i := 1; i <= n; i++ {
+			parent.Add(&Object{ID: i, Size: 4, Cells: make([]Value, 4)})
+		}
+		// Seed some pre-fork values.
+		for i := 1; i <= n; i++ {
+			parent.Write(i, int64(i%4), IntVal(int64(i*100)))
+		}
+		child := parent.Fork()
+		// Interleave writes driven by ops: even → parent, odd → child.
+		type key struct {
+			obj int
+			off int64
+		}
+		pw := map[key]int64{}
+		cw := map[key]int64{}
+		for idx, op := range ops {
+			obj := int(op)%n + 1
+			off := int64(op/8) % 4
+			val := int64(op) + 1000
+			if idx%2 == 0 {
+				parent.Write(obj, off, IntVal(val))
+				pw[key{obj, off}] = val
+			} else {
+				child.Write(obj, off, IntVal(val))
+				cw[key{obj, off}] = val
+			}
+		}
+		// Every parent-side write must be visible in parent and must not
+		// have leaked into child unless child overwrote it (checked via
+		// child's own map), and vice versa.
+		for k, v := range pw {
+			got, ok := parent.Read(k.obj, k.off)
+			if !ok {
+				return false
+			}
+			if c, _ := got.E.IsConst(); c != v {
+				return false
+			}
+		}
+		for k, v := range cw {
+			got, ok := child.Read(k.obj, k.off)
+			if !ok {
+				return false
+			}
+			if c, _ := got.E.IsConst(); c != v {
+				return false
+			}
+			if _, alsoParent := pw[k]; !alsoParent {
+				// Parent must still see the pre-fork value, not child's.
+				pv, _ := parent.Read(k.obj, k.off)
+				if pc, _ := pv.E.IsConst(); pc == v && v != int64(k.obj*100) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: State.Fork fully isolates registers, constraints, mutexes,
+// and schedule metadata.
+func TestStateForkIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		st := &State{
+			Mem:         NewAddrSpace(),
+			Box:         solver.NewBox(),
+			Mutexes:     map[MutexKey]*MutexState{},
+			CondWaiters: map[MutexKey][]int{},
+			Snapshots:   map[MutexKey]*State{},
+			envBufs:     map[string]int{},
+			Threads: []*Thread{{
+				ID:     0,
+				Frames: []*Frame{{Regs: make([]Value, 8)}},
+			}},
+		}
+		st.Mutexes[MutexKey{1, 0}] = &MutexState{Holder: -1}
+		st.Constraints = append(st.Constraints, expr.Var("x"))
+		fork := st.Fork()
+
+		// Mutate the fork arbitrarily.
+		fork.Mutexes[MutexKey{1, 0}].Holder = int(r.Int31n(3))
+		fork.Constraints = append(fork.Constraints, expr.Var("y"))
+		fork.Threads[0].Frames[0].Regs[3] = IntVal(42)
+		fork.CondWaiters[MutexKey{2, 0}] = []int{1}
+		fork.Schedule = append(fork.Schedule, SchedSegment{Tid: 1})
+
+		if st.Mutexes[MutexKey{1, 0}].Holder != -1 {
+			t.Fatal("mutex state leaked to parent")
+		}
+		if len(st.Constraints) != 1 {
+			t.Fatal("constraints leaked to parent")
+		}
+		if st.Threads[0].Frames[0].Regs[3].E != nil {
+			t.Fatal("registers leaked to parent")
+		}
+		if len(st.CondWaiters) != 0 {
+			t.Fatal("cond waiters leaked to parent")
+		}
+		if len(st.Schedule) != 0 {
+			t.Fatal("schedule leaked to parent")
+		}
+	}
+}

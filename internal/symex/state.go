@@ -1,0 +1,480 @@
+package symex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"esd/internal/expr"
+	"esd/internal/mir"
+	"esd/internal/solver"
+)
+
+// ThreadStatus is a thread's scheduling state.
+type ThreadStatus int
+
+// Thread statuses.
+const (
+	ThreadRunnable ThreadStatus = iota
+	ThreadBlockedMutex
+	ThreadBlockedJoin
+	ThreadBlockedCond
+	ThreadExited
+)
+
+// String names the status.
+func (s ThreadStatus) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadBlockedMutex:
+		return "blocked-mutex"
+	case ThreadBlockedJoin:
+		return "blocked-join"
+	case ThreadBlockedCond:
+		return "blocked-cond"
+	case ThreadExited:
+		return "exited"
+	}
+	return "?"
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn      *mir.Func
+	Block   int
+	Idx     int
+	Regs    []Value
+	RetDst  int   // caller register receiving the return value (-1 none)
+	Allocas []int // stack objects to release on return
+}
+
+func (f *Frame) clone() *Frame {
+	n := *f
+	n.Regs = make([]Value, len(f.Regs))
+	copy(n.Regs, f.Regs)
+	n.Allocas = append([]int(nil), f.Allocas...)
+	return &n
+}
+
+// Loc returns the frame's current instruction location.
+func (f *Frame) Loc() mir.Loc { return mir.Loc{Fn: f.Fn.Name, Block: f.Block, Index: f.Idx} }
+
+// Thread is one simulated POSIX thread.
+type Thread struct {
+	ID        int
+	Frames    []*Frame
+	Status    ThreadStatus
+	WaitMutex MutexKey // when blocked on a mutex (incl. condvar reacquire)
+	WaitCond  MutexKey // when blocked on a condvar
+	WaitTid   int      // when blocked in join
+	Result    Value    // thread function return value (for join)
+	// CondPhase tracks condition-variable wait progress: 0 = not waiting,
+	// 1 = waiting for a signal, 2 = signaled, reacquiring the mutex.
+	CondPhase int
+}
+
+func (t *Thread) clone() *Thread {
+	n := *t
+	n.Frames = make([]*Frame, len(t.Frames))
+	for i, f := range t.Frames {
+		n.Frames[i] = f.clone()
+	}
+	return &n
+}
+
+// Top returns the innermost frame, or nil for an exited thread.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// Stack returns the thread's call stack, outermost first, as instruction
+// locations (the shape bug-report stack traces take).
+func (t *Thread) Stack() []mir.Loc {
+	out := make([]mir.Loc, len(t.Frames))
+	for i, f := range t.Frames {
+		out[i] = f.Loc()
+	}
+	return out
+}
+
+// MutexKey identifies a mutex or condition variable by its memory cell.
+type MutexKey struct {
+	Obj int
+	Off int64
+}
+
+// NoMutex is the zero MutexKey, meaning "none".
+var NoMutex = MutexKey{Obj: -1}
+
+// String renders the key.
+func (k MutexKey) String() string { return fmt.Sprintf("mu(obj%d+%d)", k.Obj, k.Off) }
+
+// syncApproval marks the sync instruction already offered to the policy.
+type syncApproval struct {
+	Tid int
+	Loc mir.Loc
+}
+
+// MutexState tracks a mutex's holder. Waiters are derived from thread
+// statuses.
+type MutexState struct {
+	Holder int // thread ID, -1 when free
+	// AcqLoc is where the current holder acquired the mutex (the lock call
+	// site), used by the §4.1 inner/outer-lock scheduling heuristic.
+	AcqLoc mir.Loc
+}
+
+// StateStatus is an execution state's lifecycle phase.
+type StateStatus int
+
+// State statuses.
+const (
+	StateRunning StateStatus = iota
+	StateExited              // main returned / all threads done
+	StateCrashed             // memory-safety violation, assert, abort
+	StateDeadlocked
+	StateAborted // abandoned: solver unknown, resource limit, pruned
+)
+
+// String names the status.
+func (s StateStatus) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateExited:
+		return "exited"
+	case StateCrashed:
+		return "crashed"
+	case StateDeadlocked:
+		return "deadlocked"
+	case StateAborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// CrashKind classifies failures, mirroring §3.1's bug classes.
+type CrashKind int
+
+// Crash kinds.
+const (
+	CrashSegFault CrashKind = iota
+	CrashOutOfBounds
+	CrashInvalidFree
+	CrashAssert
+	CrashAbort
+	CrashDivZero
+)
+
+// String names the crash kind.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashSegFault:
+		return "segfault"
+	case CrashOutOfBounds:
+		return "out-of-bounds"
+	case CrashInvalidFree:
+		return "invalid-free"
+	case CrashAssert:
+		return "assert-failure"
+	case CrashAbort:
+		return "abort"
+	case CrashDivZero:
+		return "division-by-zero"
+	}
+	return "?"
+}
+
+// CrashInfo describes a failure: the faulting location (goal block B) and
+// the machine condition that held (goal condition C).
+type CrashInfo struct {
+	Kind    CrashKind
+	Tid     int
+	Loc     mir.Loc
+	Pos     mir.Pos
+	Message string
+}
+
+// String renders the crash.
+func (c *CrashInfo) String() string {
+	return fmt.Sprintf("%s in thread %d at %s (%s): %s", c.Kind, c.Tid, c.Loc, c.Pos, c.Message)
+}
+
+// DeadlockInfo describes a detected deadlock.
+type DeadlockInfo struct {
+	// Tids are the threads involved (cycle members for mutex deadlocks, all
+	// blocked threads for no-progress deadlocks).
+	Tids []int
+	// Cycle reports whether a resource-allocation-graph cycle was found
+	// (vs. the weaker "no thread can make progress" condition, §4.1).
+	Cycle bool
+	// WaitLocs maps each involved thread to the location of the blocking
+	// operation (the "inner lock" site).
+	WaitLocs map[int]mir.Loc
+}
+
+// String renders the deadlock.
+func (d *DeadlockInfo) String() string {
+	var b strings.Builder
+	if d.Cycle {
+		b.WriteString("mutex cycle deadlock:")
+	} else {
+		b.WriteString("no-progress deadlock:")
+	}
+	tids := append([]int(nil), d.Tids...)
+	sort.Ints(tids)
+	for _, t := range tids {
+		fmt.Fprintf(&b, " T%d@%s", t, d.WaitLocs[t])
+	}
+	return b.String()
+}
+
+// InputKind classifies recorded symbolic inputs.
+type InputKind int
+
+// Input kinds.
+const (
+	InputGetchar InputKind = iota
+	InputEnv
+	InputNamed
+)
+
+// InputRecord links a symbolic variable to the program input it models, so
+// that trace files can drive playback. For concrete runs (an InputProvider
+// is installed) the consumed value is recorded directly.
+type InputRecord struct {
+	Var  string
+	Kind InputKind
+	Name string // env/input name
+	Seq  int    // getchar sequence number / env cell index
+	// Concrete marks that Val holds the actual consumed value (concrete
+	// runs); symbolic runs get values from the constraint solver instead.
+	Concrete bool
+	Val      int64
+}
+
+// SchedSegment is a maximal run of instructions by one thread (the strict
+// schedule representation of §5.1).
+type SchedSegment struct {
+	Tid   int
+	Steps int64
+}
+
+// SyncEvent records one synchronization operation for the happens-before
+// schedule representation.
+type SyncEvent struct {
+	Tid int
+	Op  mir.Opcode
+	Key MutexKey
+	Loc mir.Loc
+}
+
+// State is one symbolic execution state: program counter(s), stacks,
+// address space, and path constraints (§3.3), extended with threads and
+// scheduling metadata (§4).
+type State struct {
+	ID   int
+	Prog *mir.Program
+
+	Mem     *AddrSpace
+	Threads []*Thread
+	Cur     int // currently scheduled thread
+
+	Constraints []*expr.Expr
+	// Box is an interval over-approximation of Constraints, used to decide
+	// obviously-implied branch conditions without a solver query.
+	Box    *solver.Box
+	Inputs []InputRecord
+
+	Mutexes map[MutexKey]*MutexState
+	// CondWaiters lists threads waiting on each condition variable in FIFO
+	// order.
+	CondWaiters map[MutexKey][]int
+
+	Status   StateStatus
+	Crash    *CrashInfo
+	Deadlock *DeadlockInfo
+	ExitCode Value
+
+	// Schedule recording for the synthesized execution file.
+	Schedule   []SchedSegment
+	SyncEvents []SyncEvent
+
+	Steps int64 // total instructions executed
+
+	// Schedule-synthesis metadata (§4.1).
+	Snapshots map[MutexKey]*State // K_S: mutex -> pre-acquisition snapshot
+	SchedDist int                 // SchedFar or SchedNear
+
+	// syncApproved records which (thread, location) pending sync
+	// instruction was already offered to the scheduling policy, so that
+	// re-stepping executes it. It survives context switches: another
+	// thread's pending sync op still gets its own offer.
+	syncApproved *syncApproval
+
+	// Preemptions counts policy-forced context switches along this state's
+	// history (used by the Chess-style preemption-bounding baseline).
+	Preemptions int
+
+	// globalIDs maps global names to object IDs (shared, immutable).
+	globalIDs map[string]int
+	// envBufs maps env var names to their backing objects.
+	envBufs map[string]int
+}
+
+// Schedule-distance values (§4.1): states believed near the deadlock are
+// preferred.
+const (
+	SchedFar  = 0
+	SchedNear = 1
+)
+
+// Fork produces a copy of the state sharing memory copy-on-write. The
+// caller assigns the new state's ID.
+func (st *State) Fork() *State {
+	n := &State{
+		ID:           -1,
+		Prog:         st.Prog,
+		Mem:          st.Mem.Fork(),
+		Threads:      make([]*Thread, len(st.Threads)),
+		Cur:          st.Cur,
+		Constraints:  append([]*expr.Expr(nil), st.Constraints...),
+		Box:          st.Box.Clone(),
+		Inputs:       append([]InputRecord(nil), st.Inputs...),
+		Mutexes:      make(map[MutexKey]*MutexState, len(st.Mutexes)),
+		CondWaiters:  make(map[MutexKey][]int, len(st.CondWaiters)),
+		Status:       st.Status,
+		Crash:        st.Crash,
+		Deadlock:     st.Deadlock,
+		ExitCode:     st.ExitCode,
+		Schedule:     append([]SchedSegment(nil), st.Schedule...),
+		SyncEvents:   append([]SyncEvent(nil), st.SyncEvents...),
+		Steps:        st.Steps,
+		Snapshots:    make(map[MutexKey]*State, len(st.Snapshots)),
+		SchedDist:    st.SchedDist,
+		syncApproved: st.syncApproved,
+		Preemptions:  st.Preemptions,
+		globalIDs:    st.globalIDs,
+		envBufs:      make(map[string]int, len(st.envBufs)),
+	}
+	for i, t := range st.Threads {
+		n.Threads[i] = t.clone()
+	}
+	for k, v := range st.Mutexes {
+		m := *v
+		n.Mutexes[k] = &m
+	}
+	for k, v := range st.CondWaiters {
+		n.CondWaiters[k] = append([]int(nil), v...)
+	}
+	for k, v := range st.Snapshots {
+		n.Snapshots[k] = v
+	}
+	for k, v := range st.envBufs {
+		n.envBufs[k] = v
+	}
+	return n
+}
+
+// CurThread returns the scheduled thread.
+func (st *State) CurThread() *Thread { return st.Threads[st.Cur] }
+
+// Thread returns the thread with the given ID, or nil.
+func (st *State) Thread(id int) *Thread {
+	for _, t := range st.Threads {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Loc returns the current thread's instruction location.
+func (st *State) Loc() mir.Loc {
+	t := st.CurThread()
+	f := t.Top()
+	if f == nil {
+		return mir.Loc{}
+	}
+	return f.Loc()
+}
+
+// CurrentInstr returns the instruction about to execute in the scheduled
+// thread, or nil if the thread has exited.
+func (st *State) CurrentInstr() *mir.Instr {
+	f := st.CurThread().Top()
+	if f == nil {
+		return nil
+	}
+	blk := f.Fn.Blocks[f.Block]
+	if f.Idx >= len(blk.Instrs) {
+		return nil
+	}
+	return blk.Instrs[f.Idx]
+}
+
+// RunnableThreads returns the IDs of runnable threads.
+func (st *State) RunnableThreads() []int {
+	var out []int
+	for _, t := range st.Threads {
+		if t.Status == ThreadRunnable {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// SwitchTo schedules thread tid, recording the context switch.
+func (st *State) SwitchTo(tid int) {
+	if st.Cur == tid {
+		return
+	}
+	st.Cur = tid
+	st.Schedule = append(st.Schedule, SchedSegment{Tid: tid})
+}
+
+// countStep accounts one executed instruction to the current schedule
+// segment.
+func (st *State) countStep() {
+	st.Steps++
+	if len(st.Schedule) == 0 {
+		st.Schedule = append(st.Schedule, SchedSegment{Tid: st.Cur})
+	}
+	st.Schedule[len(st.Schedule)-1].Steps++
+}
+
+// HeldMutexes returns the keys of mutexes held by thread tid, sorted for
+// determinism.
+func (st *State) HeldMutexes(tid int) []MutexKey {
+	var out []MutexKey
+	for k, m := range st.Mutexes {
+		if m.Holder == tid {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// GlobalObj returns the object ID backing the named global (-1 if absent).
+func (st *State) GlobalObj(name string) int {
+	if id, ok := st.globalIDs[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Summary renders a one-line state description for logs.
+func (st *State) Summary() string {
+	return fmt.Sprintf("state %d: %s, %d threads, cur=T%d at %s, %d constraints, %d steps",
+		st.ID, st.Status, len(st.Threads), st.Cur, st.Loc(), len(st.Constraints), st.Steps)
+}

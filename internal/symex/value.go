@@ -1,0 +1,187 @@
+// Package symex implements ESD's multi-threaded symbolic virtual machine.
+//
+// It corresponds to the modified Klee of §6: execution states consist of a
+// set of threads (each a stack of frames over virtual registers), a
+// copy-on-write address space of word-granular objects, and a path
+// constraint set. Executing a branch whose condition is symbolic forks the
+// state; synchronization instructions are preemption points at which a
+// pluggable scheduling policy (internal/sched) may fork alternative
+// schedules. The same VM runs fully concretely for user-site fixture
+// generation and playback (internal/replay).
+package symex
+
+import (
+	"fmt"
+
+	"esd/internal/expr"
+)
+
+// Value is a runtime value: a symbolic scalar, a pointer, or a function.
+type Value struct {
+	Ptr *Pointer   // non-nil for pointers
+	Fn  string     // non-empty for function values
+	E   *expr.Expr // scalar term when Ptr == nil and Fn == ""
+}
+
+// Pointer is an object reference with a (possibly symbolic) cell offset.
+type Pointer struct {
+	Obj int
+	Off *expr.Expr
+}
+
+// Scalar wraps a term as a value.
+func Scalar(e *expr.Expr) Value { return Value{E: e} }
+
+// IntVal returns a concrete scalar value.
+func IntVal(v int64) Value { return Value{E: expr.Const(v)} }
+
+// PtrVal returns a pointer value with concrete offset.
+func PtrVal(obj int, off int64) Value {
+	return Value{Ptr: &Pointer{Obj: obj, Off: expr.Const(off)}}
+}
+
+// FnVal returns a function value.
+func FnVal(name string) Value { return Value{Fn: name} }
+
+// IsScalar reports whether v is a scalar.
+func (v Value) IsScalar() bool { return v.Ptr == nil && v.Fn == "" }
+
+// IsZero reports whether v is the concrete scalar 0 (the null pointer).
+func (v Value) IsZero() bool {
+	if !v.IsScalar() || v.E == nil {
+		return false
+	}
+	c, ok := v.E.IsConst()
+	return ok && c == 0
+}
+
+// String renders the value for debugger output.
+func (v Value) String() string {
+	switch {
+	case v.Ptr != nil:
+		return fmt.Sprintf("ptr(obj%d+%s)", v.Ptr.Obj, v.Ptr.Off)
+	case v.Fn != "":
+		return fmt.Sprintf("fn(%s)", v.Fn)
+	case v.E == nil:
+		return "undef"
+	default:
+		return v.E.String()
+	}
+}
+
+// ObjKind classifies memory objects.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjGlobal ObjKind = iota
+	ObjStack
+	ObjHeap
+	ObjEnv // buffers backing getenv results
+)
+
+// Object is a fixed-size array of word cells.
+type Object struct {
+	ID    int
+	Kind  ObjKind
+	Size  int
+	Name  string // global/env name for diagnostics
+	Cells []Value
+	Freed bool
+}
+
+func (o *Object) clone() *Object {
+	c := *o
+	c.Cells = make([]Value, len(o.Cells))
+	copy(c.Cells, o.Cells)
+	return &c
+}
+
+// AddrSpace is a copy-on-write map from object IDs to objects. Fork shares
+// all objects between parent and child; the first write in either side
+// clones the touched object (the Klee object-level COW of §6.1 that makes
+// snapshots cheap).
+type AddrSpace struct {
+	objects map[int]*Object
+	owned   map[int]bool // objects this address space may mutate in place
+}
+
+// NewAddrSpace returns an empty address space.
+func NewAddrSpace() *AddrSpace {
+	return &AddrSpace{objects: map[int]*Object{}, owned: map[int]bool{}}
+}
+
+// Fork returns a copy sharing all objects; both sides lose in-place write
+// ownership.
+func (as *AddrSpace) Fork() *AddrSpace {
+	n := &AddrSpace{objects: make(map[int]*Object, len(as.objects)), owned: map[int]bool{}}
+	for id, o := range as.objects {
+		n.objects[id] = o
+	}
+	as.owned = map[int]bool{}
+	return n
+}
+
+// Add installs a freshly created object (owned by this space).
+func (as *AddrSpace) Add(o *Object) {
+	as.objects[o.ID] = o
+	as.owned[o.ID] = true
+}
+
+// Object returns the object with the given ID, or nil.
+func (as *AddrSpace) Object(id int) *Object { return as.objects[id] }
+
+// mutable returns an object that may be written in place, cloning if it is
+// shared with a forked state.
+func (as *AddrSpace) mutable(id int) *Object {
+	o := as.objects[id]
+	if o == nil {
+		return nil
+	}
+	if !as.owned[id] {
+		o = o.clone()
+		as.objects[id] = o
+		as.owned[id] = true
+	}
+	return o
+}
+
+// Read returns the cell at (obj, off); ok is false when out of bounds or
+// the object was freed.
+func (as *AddrSpace) Read(obj int, off int64) (Value, bool) {
+	o := as.objects[obj]
+	if o == nil || o.Freed || off < 0 || off >= int64(o.Size) {
+		return Value{}, false
+	}
+	v := o.Cells[off]
+	if v.E == nil && v.Ptr == nil && v.Fn == "" {
+		v = IntVal(0)
+	}
+	return v, true
+}
+
+// Write stores v at (obj, off); false when out of bounds or freed.
+func (as *AddrSpace) Write(obj int, off int64, v Value) bool {
+	o := as.objects[obj]
+	if o == nil || o.Freed || off < 0 || off >= int64(o.Size) {
+		return false
+	}
+	o = as.mutable(obj)
+	o.Cells[off] = v
+	return true
+}
+
+// MarkFreed marks the object freed (subsequent access crashes). Reports
+// whether the object existed and was not already freed.
+func (as *AddrSpace) MarkFreed(id int) bool {
+	o := as.objects[id]
+	if o == nil || o.Freed {
+		return false
+	}
+	o = as.mutable(id)
+	o.Freed = true
+	return true
+}
+
+// NumObjects returns the number of live objects (for memory accounting).
+func (as *AddrSpace) NumObjects() int { return len(as.objects) }

@@ -1,0 +1,189 @@
+// Package trace defines the synthesized execution file (§5.1): everything
+// playback needs to reproduce a synthesized execution deterministically —
+// concrete values for all program inputs, the strict thread schedule, and
+// the happens-before relation over synchronization operations.
+//
+// Two schedule representations are stored, as in the paper: the strict
+// schedule (exact per-thread instruction segments; playback is fully
+// serial) and the happens-before events (only synchronization order is
+// enforced). Executions compare for equality, which powers the automated
+// triage/deduplication usage model (§8).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"esd/internal/solver"
+	"esd/internal/symex"
+)
+
+// Execution is the synthesized execution file.
+type Execution struct {
+	Program string `json:"program"`
+	// BugSummary is a one-line description of the reproduced failure.
+	BugSummary string `json:"bug_summary"`
+
+	// Inputs maps symbolic input variables to the concrete values computed
+	// by the constraint solver (§3.4: "solves the constraints ... and
+	// computes all the inputs").
+	Inputs map[string]int64 `json:"inputs"`
+	// InputLog records what each variable models (stdin byte, env cell,
+	// named input), in consumption order.
+	InputLog []symex.InputRecord `json:"input_log"`
+
+	// Schedule is the strict serial schedule: maximal single-thread
+	// instruction runs.
+	Schedule []symex.SchedSegment `json:"schedule"`
+	// SyncEvents is the happens-before representation: the global order of
+	// synchronization operations.
+	SyncEvents []symex.SyncEvent `json:"sync_events"`
+}
+
+// FromState builds the execution file for a synthesized terminal state,
+// solving its path constraints for concrete inputs.
+func FromState(st *symex.State, sol *solver.Solver) (*Execution, error) {
+	res, model := sol.Check(st.Constraints)
+	if res != solver.Sat {
+		return nil, fmt.Errorf("trace: path constraints of state %d are %v", st.ID, res)
+	}
+	ex := &Execution{
+		Program:    st.Prog.Name,
+		Inputs:     map[string]int64{},
+		InputLog:   append([]symex.InputRecord(nil), st.Inputs...),
+		Schedule:   append([]symex.SchedSegment(nil), st.Schedule...),
+		SyncEvents: append([]symex.SyncEvent(nil), st.SyncEvents...),
+	}
+	for _, rec := range ex.InputLog {
+		if rec.Concrete {
+			// Concrete runs (user-site fixtures, replays) carry the values
+			// they actually consumed.
+			ex.Inputs[rec.Var] = rec.Val
+			continue
+		}
+		ex.Inputs[rec.Var] = model[rec.Var] // absent vars default to 0
+	}
+	switch {
+	case st.Crash != nil:
+		ex.BugSummary = st.Crash.String()
+	case st.Deadlock != nil:
+		ex.BugSummary = st.Deadlock.String()
+	default:
+		ex.BugSummary = "clean exit"
+	}
+	return ex, nil
+}
+
+// Getchar implements symex.InputProvider.
+func (ex *Execution) Getchar(seq int) int64 {
+	if v, ok := ex.Inputs[fmt.Sprintf("stdin:%d", seq)]; ok {
+		return v
+	}
+	return -1 // unconstrained stdin reads see EOF
+}
+
+// Getenv implements symex.InputProvider.
+func (ex *Execution) Getenv(name string) []int64 {
+	var cells []int64
+	for i := 0; ; i++ {
+		v, ok := ex.Inputs[fmt.Sprintf("env:%s:%d", name, i)]
+		if !ok {
+			break
+		}
+		cells = append(cells, v)
+	}
+	return cells
+}
+
+// Input implements symex.InputProvider.
+func (ex *Execution) Input(name string, seq int) int64 {
+	return ex.Inputs[fmt.Sprintf("in:%s:%d", name, seq)]
+}
+
+// Encode serializes the execution file as JSON.
+func (ex *Execution) Encode() ([]byte, error) { return json.MarshalIndent(ex, "", "  ") }
+
+// Decode parses an execution file.
+func Decode(data []byte) (*Execution, error) {
+	var ex Execution
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if ex.Inputs == nil {
+		ex.Inputs = map[string]int64{}
+	}
+	return &ex, nil
+}
+
+// Equal reports whether two executions are the same reproduction — the §8
+// deduplication check: same program, same inputs, same sync order.
+func (ex *Execution) Equal(o *Execution) bool {
+	if ex.Program != o.Program || len(ex.SyncEvents) != len(o.SyncEvents) {
+		return false
+	}
+	for i := range ex.SyncEvents {
+		if ex.SyncEvents[i] != o.SyncEvents[i] {
+			return false
+		}
+	}
+	if len(ex.Inputs) != len(o.Inputs) {
+		return false
+	}
+	for k, v := range ex.Inputs {
+		if o.Inputs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a short stable identifier for deduplication indexes.
+func (ex *Execution) Fingerprint() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(ex.Inputs))
+	for k := range ex.Inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d;", k, ex.Inputs[k])
+	}
+	for _, ev := range ex.SyncEvents {
+		fmt.Fprintf(&b, "T%d:%v:%v;", ev.Tid, ev.Op, ev.Key)
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < b.Len(); i++ {
+		h ^= uint64(b.String()[i])
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// String renders a readable summary.
+func (ex *Execution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution of %s: %s\n", ex.Program, ex.BugSummary)
+	fmt.Fprintf(&b, "  %d inputs, %d schedule segments, %d sync events\n",
+		len(ex.Inputs), len(ex.Schedule), len(ex.SyncEvents))
+	for _, rec := range ex.InputLog {
+		v := ex.Inputs[rec.Var]
+		switch rec.Kind {
+		case symex.InputGetchar:
+			fmt.Fprintf(&b, "  getchar()#%d = %d %s\n", rec.Seq, v, printable(v))
+		case symex.InputEnv:
+			fmt.Fprintf(&b, "  getenv(%q)[%d] = %d %s\n", rec.Name, rec.Seq, v, printable(v))
+		case symex.InputNamed:
+			fmt.Fprintf(&b, "  input(%q) = %d\n", rec.Name, v)
+		}
+	}
+	return b.String()
+}
+
+func printable(v int64) string {
+	if v >= 32 && v < 127 {
+		return fmt.Sprintf("(%q)", rune(v))
+	}
+	return ""
+}

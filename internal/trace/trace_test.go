@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"testing"
+
+	"esd/internal/expr"
+	"esd/internal/lang"
+	"esd/internal/solver"
+	"esd/internal/symex"
+)
+
+// symbolicCrashState drives a program symbolically down one path to a
+// terminal state (first-successor policy), for trace construction.
+func symbolicCrashState(t *testing.T, src string, want symex.StateStatus) *symex.State {
+	t.Helper()
+	prog := lang.MustCompile("t.c", src)
+	eng := symex.New(prog, solver.New())
+	st, err := eng.InitialState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := []*symex.State{st}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for cur.Status == symex.StateRunning {
+			succ, err := eng.Step(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = succ[0]
+			queue = append(queue, succ[1:]...)
+		}
+		if cur.Status == want {
+			return cur
+		}
+	}
+	t.Fatalf("no %v state found", want)
+	return nil
+}
+
+const guarded = `
+int main() {
+	int c = getchar();
+	int *e = getenv("MODE");
+	int n = input("count");
+	if (c == 'x' && e[0] == 'Z' && n == 5) {
+		int *p = 0;
+		return *p;
+	}
+	return 0;
+}`
+
+func TestFromStateSolvesInputs(t *testing.T) {
+	st := symbolicCrashState(t, guarded, symex.StateCrashed)
+	ex, err := FromState(st, solver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Getchar(0) != 'x' {
+		t.Errorf("getchar = %d", ex.Getchar(0))
+	}
+	if env := ex.Getenv("MODE"); len(env) == 0 || env[0] != 'Z' {
+		t.Errorf("getenv = %v", env)
+	}
+	if ex.Input("count", 0) != 5 {
+		t.Errorf("input = %d", ex.Input("count", 0))
+	}
+	if ex.BugSummary == "" {
+		t.Error("missing bug summary")
+	}
+}
+
+func TestRoundTripJSON(t *testing.T) {
+	st := symbolicCrashState(t, guarded, symex.StateCrashed)
+	ex, err := FromState(st, solver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ex.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Equal(back) {
+		t.Fatal("round trip not equal")
+	}
+	if ex.Fingerprint() != back.Fingerprint() {
+		t.Fatal("fingerprints differ after round trip")
+	}
+}
+
+func TestEqualDiscriminates(t *testing.T) {
+	st := symbolicCrashState(t, guarded, symex.StateCrashed)
+	ex1, _ := FromState(st, solver.New())
+	ex2, _ := FromState(st, solver.New())
+	if !ex1.Equal(ex2) {
+		t.Fatal("same state, different executions")
+	}
+	ex2.Inputs["stdin:0"] = 'y'
+	if ex1.Equal(ex2) {
+		t.Fatal("differing inputs compare equal")
+	}
+}
+
+func TestFromStateRejectsUnsat(t *testing.T) {
+	st := symbolicCrashState(t, guarded, symex.StateCrashed)
+	st.Constraints = append(st.Constraints,
+		expr.Binary(expr.OpEq, expr.Var("stdin:0"), expr.Const('a')),
+		expr.Binary(expr.OpEq, expr.Var("stdin:0"), expr.Const('b')))
+	if _, err := FromState(st, solver.New()); err == nil {
+		t.Fatal("unsat constraints accepted")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("]{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMissingInputsDefault(t *testing.T) {
+	ex := &Execution{Inputs: map[string]int64{}}
+	if ex.Getchar(0) != -1 {
+		t.Fatal("missing stdin should be EOF")
+	}
+	if len(ex.Getenv("X")) != 0 {
+		t.Fatal("missing env should be empty")
+	}
+	if ex.Input("k", 0) != 0 {
+		t.Fatal("missing input should be 0")
+	}
+}
+
+func TestStringListsInputs(t *testing.T) {
+	st := symbolicCrashState(t, guarded, symex.StateCrashed)
+	ex, _ := FromState(st, solver.New())
+	s := ex.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

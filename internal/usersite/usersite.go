@@ -1,0 +1,165 @@
+// Package usersite simulates the end-user environment where bugs manifest
+// in the field. The paper's premise is that the user runs the program
+// natively — no instrumentation, no tracing — and on failure ships a
+// coredump. This package reproduces that setting over the MIR VM: fully
+// concrete inputs, a randomly preempting scheduler (the OS), and repeated
+// runs until the failure occurs, at which point the coredump (bug report)
+// is taken.
+//
+// Fixtures produced this way carry only what a real coredump carries:
+// failure type, final stacks, fault location. Synthesis never sees the
+// triggering schedule or the inputs.
+package usersite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"esd/internal/mir"
+	"esd/internal/report"
+	"esd/internal/solver"
+	"esd/internal/symex"
+)
+
+// Inputs is a simple concrete input assignment for user-site runs.
+type Inputs struct {
+	// Stdin is the byte sequence getchar() consumes (then EOF).
+	Stdin []int64
+	// Env maps environment variable names to values.
+	Env map[string]string
+	// Named maps input(name) values.
+	Named map[string]int64
+}
+
+var _ symex.InputProvider = (*Inputs)(nil)
+
+// Getchar implements symex.InputProvider.
+func (in *Inputs) Getchar(seq int) int64 {
+	if seq < len(in.Stdin) {
+		return in.Stdin[seq]
+	}
+	return -1
+}
+
+// Getenv implements symex.InputProvider. Unset variables yield nil (the
+// empty string).
+func (in *Inputs) Getenv(name string) []int64 {
+	s, ok := in.Env[name]
+	if !ok {
+		return nil
+	}
+	out := make([]int64, len(s))
+	for i := 0; i < len(s); i++ {
+		out[i] = int64(s[i])
+	}
+	return out
+}
+
+// Input implements symex.InputProvider.
+func (in *Inputs) Input(name string, seq int) int64 { return in.Named[name] }
+
+// Options tunes the user-site simulation.
+type Options struct {
+	// Seeds is how many random schedules to try (runs of the program).
+	Seeds int
+	// PreemptPercent is the chance (0-100) of a preemption at each sync
+	// point.
+	PreemptPercent int
+	// MaxSteps bounds each run.
+	MaxSteps int64
+	// PreemptAtMemAccess also preempts at loads/stores (needed to expose
+	// data races at the user site).
+	PreemptAtMemAccess bool
+}
+
+// randomPolicy preempts the running thread with fixed probability at each
+// preemption point — a model of an OS scheduler's timer interrupts.
+type randomPolicy struct {
+	rng *rand.Rand
+	pct int
+}
+
+func (p *randomPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
+	if p.rng.Intn(100) < p.pct {
+		run := st.RunnableThreads()
+		others := run[:0]
+		for _, tid := range run {
+			if tid != st.Cur {
+				others = append(others, tid)
+			}
+		}
+		if len(others) > 0 {
+			st.SwitchTo(others[p.rng.Intn(len(others))])
+		}
+	}
+	return nil
+}
+
+func (p *randomPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
+}
+
+func (p *randomPolicy) PickNext(e *symex.Engine, st *symex.State) int {
+	run := st.RunnableThreads()
+	if len(run) == 0 {
+		return -1
+	}
+	return run[p.rng.Intn(len(run))]
+}
+
+// flagAllMem makes every load/store a preemption point (timer interrupts
+// can fire anywhere on real hardware).
+type flagAllMem struct{}
+
+func (flagAllMem) IsFlagged(mir.Loc) bool { return true }
+func (flagAllMem) Record(st *symex.State, tid int, obj int, off int64, write bool, loc mir.Loc, held []symex.MutexKey) {
+}
+
+// RunOnce executes prog concretely with the given inputs and schedule seed.
+func RunOnce(prog *mir.Program, in symex.InputProvider, opts Options, seed int64) (*symex.State, error) {
+	eng := symex.New(prog, solver.New())
+	eng.Inputs = in
+	eng.Policy = &randomPolicy{rng: rand.New(rand.NewSource(seed)), pct: opts.PreemptPercent}
+	if opts.PreemptAtMemAccess {
+		eng.Race = flagAllMem{}
+	}
+	st, err := eng.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+	return eng.Run(st, maxSteps)
+}
+
+// Reproduce runs the program under random schedules until it fails,
+// returning the failing state and the seed that triggered it.
+func Reproduce(prog *mir.Program, in symex.InputProvider, opts Options) (*symex.State, int64, error) {
+	if opts.Seeds == 0 {
+		opts.Seeds = 2000
+	}
+	if opts.PreemptPercent == 0 {
+		opts.PreemptPercent = 35
+	}
+	for seed := int64(0); seed < int64(opts.Seeds); seed++ {
+		st, err := RunOnce(prog, in, opts, seed)
+		if err != nil {
+			return nil, -1, err
+		}
+		if report.IsFailure(st) {
+			return st, seed, nil
+		}
+	}
+	return nil, -1, fmt.Errorf("usersite: no failure in %d runs", opts.Seeds)
+}
+
+// CoredumpFor runs Reproduce and converts the failure into a bug report —
+// the full "user hits the bug, support extracts the coredump" pipeline.
+func CoredumpFor(prog *mir.Program, in symex.InputProvider, opts Options) (*report.Report, error) {
+	st, _, err := Reproduce(prog, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	return report.FromState(st)
+}

@@ -1,0 +1,134 @@
+package usersite
+
+import (
+	"testing"
+
+	"esd/internal/lang"
+	"esd/internal/report"
+	"esd/internal/symex"
+)
+
+const racyDeadlock = `
+int a;
+int b;
+int t1fn(int x) {
+	lock(&a);
+	lock(&b);
+	unlock(&b);
+	unlock(&a);
+	return 0;
+}
+int t2fn(int x) {
+	lock(&b);
+	lock(&a);
+	unlock(&a);
+	unlock(&b);
+	return 0;
+}
+int main() {
+	int t1 = thread_create(t1fn, 0);
+	int t2 = thread_create(t2fn, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return 0;
+}`
+
+func TestReproduceFindsABBADeadlock(t *testing.T) {
+	prog := lang.MustCompile("t.c", racyDeadlock)
+	st, seed, err := Reproduce(prog, &Inputs{}, Options{Seeds: 2000, PreemptPercent: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != symex.StateDeadlocked {
+		t.Fatalf("status = %v", st.Status)
+	}
+	if seed < 0 {
+		t.Fatal("no seed reported")
+	}
+	// The same seed must reproduce deterministically.
+	again, err := RunOnce(prog, &Inputs{}, Options{PreemptPercent: 50}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != symex.StateDeadlocked {
+		t.Fatalf("same seed did not reproduce: %v", again.Status)
+	}
+}
+
+func TestReproduceGivesUpOnCorrectPrograms(t *testing.T) {
+	prog := lang.MustCompile("t.c", `
+int m;
+int g;
+int w(int x) { lock(&m); g++; unlock(&m); return 0; }
+int main() {
+	int t1 = thread_create(w, 0);
+	int t2 = thread_create(w, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return g;
+}`)
+	if _, _, err := Reproduce(prog, &Inputs{}, Options{Seeds: 50, PreemptPercent: 50}); err == nil {
+		t.Fatal("correct program 'reproduced' a failure")
+	}
+}
+
+func TestCoredumpForPipeline(t *testing.T) {
+	prog := lang.MustCompile("t.c", racyDeadlock)
+	rep, err := CoredumpFor(prog, &Inputs{}, Options{Seeds: 2000, PreemptPercent: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != report.KindDeadlock || len(rep.WaitLocs) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestInputsProvider(t *testing.T) {
+	in := &Inputs{
+		Stdin: []int64{'a', 'b'},
+		Env:   map[string]string{"HOME": "/x"},
+		Named: map[string]int64{"n": 7},
+	}
+	if in.Getchar(0) != 'a' || in.Getchar(1) != 'b' || in.Getchar(2) != -1 {
+		t.Fatal("stdin provider broken")
+	}
+	env := in.Getenv("HOME")
+	if len(env) != 2 || env[0] != '/' || env[1] != 'x' {
+		t.Fatalf("env provider = %v", env)
+	}
+	if in.Getenv("NOPE") != nil {
+		t.Fatal("missing env should be nil")
+	}
+	if in.Input("n", 0) != 7 || in.Input("z", 0) != 0 {
+		t.Fatal("named provider broken")
+	}
+}
+
+func TestMemAccessPreemptionExposesRace(t *testing.T) {
+	// An assert that only fails under a racy interleaving of unprotected
+	// increments; sync-only preemption cannot break the read-modify-write,
+	// memory-access preemption can.
+	prog := lang.MustCompile("t.c", `
+int c;
+int w(int x) {
+	int tmp = c;
+	yield();
+	c = tmp + 1;
+	return 0;
+}
+int main() {
+	int t1 = thread_create(w, 0);
+	int t2 = thread_create(w, 0);
+	thread_join(t1);
+	thread_join(t2);
+	assert(c == 2);     // fails when the increments interleave
+	return c;
+}`)
+	st, _, err := Reproduce(prog, &Inputs{}, Options{Seeds: 500, PreemptPercent: 50, PreemptAtMemAccess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != symex.StateCrashed || st.Crash.Kind != symex.CrashAssert {
+		t.Fatalf("expected assert failure, got %s", st.Summary())
+	}
+}
