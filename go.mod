@@ -1,0 +1,3 @@
+module esd
+
+go 1.24

@@ -16,6 +16,9 @@ import (
 // and playback input numbering (fixed by recording InputRecords in both
 // modes).
 func TestSqliteStrictReplayRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sqlite synthesis + replay; skipped with -short")
+	}
 	a := Get("sqlite")
 	prog, err := a.Program()
 	if err != nil {

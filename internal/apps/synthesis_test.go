@@ -15,6 +15,9 @@ import (
 // execution matching the user-site coredump, and strict playback must
 // deterministically reproduce the failure.
 func TestESDSynthesizesEveryBug(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis of every bundled bug; skipped with -short")
+	}
 	for _, a := range All() {
 		a := a
 		t.Run(a.Name, func(t *testing.T) {
@@ -26,9 +29,12 @@ func TestESDSynthesizesEveryBug(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The paper's per-bug budget is 1 hour; 300s is the CI stand-in.
+			// ls4 needs ~110s alone on a 2.1GHz core (solver-bound, see
+			// ROADMAP.md), so 120s flaked whenever packages ran in parallel.
 			res, err := search.Synthesize(prog, rep, search.Options{
 				Strategy: search.StrategyESD,
-				Timeout:  120 * time.Second,
+				Timeout:  300 * time.Second,
 				Seed:     1,
 			})
 			if err != nil {

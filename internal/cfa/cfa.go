@@ -30,6 +30,84 @@ type BlockRef struct {
 // String renders the reference.
 func (b BlockRef) String() string { return fmt.Sprintf("%s@b%d", b.Fn, b.Block) }
 
+// CallGraph is the whole-program call structure shared by the static
+// analyses: per-callee call sites (ThreadCreate spawn sites included, since
+// a spawned thread executes its target) and the address-taken function set
+// that bounds indirect call targets. internal/dist builds its
+// interprocedural distance summaries over the same graph so pruning and
+// proximity agree on what is reachable.
+type CallGraph struct {
+	Prog *mir.Program
+	// CallersOf maps a function to the blocks containing a call or spawn
+	// that can invoke it.
+	CallersOf map[string][]BlockRef
+	// AddrTaken lists functions whose address is taken (possible indirect
+	// callees), in discovery order.
+	AddrTaken []string
+}
+
+// BuildCallGraph scans prog once and returns its call graph.
+func BuildCallGraph(prog *mir.Program) *CallGraph {
+	cg := &CallGraph{Prog: prog, CallersOf: map[string][]BlockRef{}}
+	var indirectSites []BlockRef
+	for _, name := range prog.Order {
+		f := prog.Funcs[name]
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case mir.Call:
+					if in.Sym != "" {
+						cg.CallersOf[in.Sym] = append(cg.CallersOf[in.Sym], BlockRef{name, blk.ID})
+					} else {
+						indirectSites = append(indirectSites, BlockRef{name, blk.ID})
+					}
+				case mir.FuncAddr:
+					cg.AddrTaken = append(cg.AddrTaken, in.Sym)
+				case mir.ThreadCreate:
+					cg.CallersOf[in.Sym] = append(cg.CallersOf[in.Sym], BlockRef{name, blk.ID})
+				}
+			}
+		}
+	}
+	// Indirect calls may reach any address-taken function: add edges from
+	// every block containing an indirect call to each such function.
+	for _, target := range cg.AddrTaken {
+		cg.CallersOf[target] = append(cg.CallersOf[target], indirectSites...)
+	}
+	return cg
+}
+
+// Targets returns the possible callees of an instruction (resolved direct
+// calls and spawns, or all address-taken functions for indirect calls).
+func (cg *CallGraph) Targets(in *mir.Instr) []string {
+	switch in.Op {
+	case mir.Call, mir.ThreadCreate:
+		if in.Sym != "" {
+			return []string{in.Sym}
+		}
+		return cg.AddrTaken
+	}
+	return nil
+}
+
+// Reachers returns the set of functions from whose body target can be
+// reached through the call graph, target itself included.
+func (cg *CallGraph) Reachers(target string) map[string]bool {
+	out := map[string]bool{target: true}
+	work := []string{target}
+	for len(work) > 0 {
+		fn := work[0]
+		work = work[1:]
+		for _, site := range cg.CallersOf[fn] {
+			if !out[site.Fn] {
+				out[site.Fn] = true
+				work = append(work, site.Fn)
+			}
+		}
+	}
+	return out
+}
+
 // Analysis holds the results of the static phase for one goal.
 type Analysis struct {
 	Prog *mir.Program
@@ -59,25 +137,30 @@ type Analysis struct {
 	// branch condition true.
 	IntermediateGoals [][]mir.Loc
 
-	callersOf map[string][]BlockRef // call sites per callee
-	addrTaken []string              // functions whose address is taken
+	cg *CallGraph
 }
 
 // Analyze runs the static phase for the given goal location.
 func Analyze(prog *mir.Program, goal mir.Loc) (*Analysis, error) {
+	return AnalyzeWith(BuildCallGraph(prog), goal)
+}
+
+// AnalyzeWith is Analyze over a prebuilt call graph, so callers analyzing
+// several goals of one program (or sharing the graph with internal/dist)
+// scan the program once.
+func AnalyzeWith(cg *CallGraph, goal mir.Loc) (*Analysis, error) {
+	prog := cg.Prog
 	if prog.InstrAt(goal) == nil {
 		return nil, fmt.Errorf("cfa: goal %v does not name an instruction", goal)
 	}
 	a := &Analysis{
 		Prog:           prog,
 		Goal:           goal,
-		ReachGoalFn:    map[string]bool{},
 		reachGoalBlock: map[string][]bool{},
 		reachRetBlock:  map[string][]bool{},
 		Critical:       map[BlockRef]bool{},
-		callersOf:      map[string][]BlockRef{},
+		cg:             cg,
 	}
-	a.buildCallGraph()
 	a.computeReachability()
 	a.computeCriticalEdges()
 	a.backwardChain()
@@ -143,72 +226,14 @@ func (a *Analysis) refineGoals() {
 	sortLocSets(a.IntermediateGoals)
 }
 
-func (a *Analysis) buildCallGraph() {
-	for _, name := range a.Prog.Order {
-		f := a.Prog.Funcs[name]
-		for _, blk := range f.Blocks {
-			for _, in := range blk.Instrs {
-				switch in.Op {
-				case mir.Call:
-					if in.Sym != "" {
-						a.callersOf[in.Sym] = append(a.callersOf[in.Sym], BlockRef{name, blk.ID})
-					}
-				case mir.FuncAddr:
-					a.addrTaken = append(a.addrTaken, in.Sym)
-				case mir.ThreadCreate:
-					// A spawned thread executes the target; treat the spawn
-					// site as a call site for reachability.
-					a.callersOf[in.Sym] = append(a.callersOf[in.Sym], BlockRef{name, blk.ID})
-				}
-			}
-		}
-	}
-	// Indirect calls may reach any address-taken function: add edges from
-	// every block containing an indirect call to each such function.
-	var indirectSites []BlockRef
-	for _, name := range a.Prog.Order {
-		f := a.Prog.Funcs[name]
-		for _, blk := range f.Blocks {
-			for _, in := range blk.Instrs {
-				if in.Op == mir.Call && in.Sym == "" {
-					indirectSites = append(indirectSites, BlockRef{name, blk.ID})
-				}
-			}
-		}
-	}
-	for _, target := range a.addrTaken {
-		a.callersOf[target] = append(a.callersOf[target], indirectSites...)
-	}
-}
-
 // callTargets returns the possible callees of an instruction (resolved
 // direct calls, or all address-taken functions for indirect ones).
-func (a *Analysis) callTargets(in *mir.Instr) []string {
-	switch in.Op {
-	case mir.Call, mir.ThreadCreate:
-		if in.Sym != "" {
-			return []string{in.Sym}
-		}
-		return a.addrTaken
-	}
-	return nil
-}
+func (a *Analysis) callTargets(in *mir.Instr) []string { return a.cg.Targets(in) }
 
 func (a *Analysis) computeReachability() {
 	// Pass 1: ReachGoalFn fixpoint. The goal's own function reaches it;
 	// any function calling a reaching function reaches it.
-	a.ReachGoalFn[a.Goal.Fn] = true
-	work := []string{a.Goal.Fn}
-	for len(work) > 0 {
-		fn := work[0]
-		work = work[1:]
-		for _, site := range a.callersOf[fn] {
-			if !a.ReachGoalFn[site.Fn] {
-				a.ReachGoalFn[site.Fn] = true
-				work = append(work, site.Fn)
-			}
-		}
-	}
+	a.ReachGoalFn = a.cg.Reachers(a.Goal.Fn)
 	// Pass 2: per-function block sets.
 	for _, name := range a.Prog.Order {
 		f := a.Prog.Funcs[name]

@@ -1,0 +1,418 @@
+// Package dist implements ESD's proximity heuristic (§4 / Algorithm 1):
+// a static, conservative estimate of how many more MIR instructions a
+// thread must execute before control can reach a goal location.
+//
+// The estimate is built from three layers:
+//
+//  1. Goal-independent function summaries. For every function the
+//     Calculator computes, at instruction granularity, the shortest
+//     CFG path from each instruction to a return of the function
+//     (distToRet), and from that the function's "through" cost — the
+//     cheapest entry-to-return path. A call instruction costs
+//     1 + through(callee), so the summaries are interprocedural: they
+//     account for the cheapest complete execution of every callee on the
+//     path. Functions from which no return is statically reachable (the
+//     abort-only wrappers) get an Infinite through cost, which correctly
+//     makes paths that must step over them unreachable.
+//
+//  2. Per-goal tables, computed lazily the first time a goal is queried
+//     and memoized for the lifetime of the Calculator. toGoal[f][i] is the
+//     cheapest cost from instruction i of f to the goal, where a call may
+//     either be stepped over (1 + through(callee)) or entered
+//     (1 + entry-to-goal cost of the callee). Entry costs are resolved by
+//     a fixpoint over the functions that can reach the goal's function in
+//     the call graph (internal/cfa's CallGraph, so proximity and pruning
+//     agree on reachability). ThreadCreate spawn sites count as entries:
+//     a thread about to spawn the goal-reaching worker is close to the
+//     goal even though a different thread will ultimately execute it.
+//
+//  3. Stack-aware composition (Algorithm 1). A thread may reach the goal
+//     from its current frame, or return out of any number of frames and
+//     reach it from a caller. StateDistance walks the live stack from the
+//     innermost frame outward, accumulating the cost of unwinding
+//     (distToRet of each abandoned frame) and taking the minimum of
+//     unwind-cost + toGoal at every resume point. Frames the thread can
+//     never return out of cut the walk off, so a thread stuck below a
+//     non-returning frame is Infinite unless the goal is still ahead of
+//     it.
+//
+// The search queries one Calculator from every virtual goal queue at every
+// scheduling step, so the memoized lookup path is the hottest code in the
+// system: after the first query for a goal, StateDistance performs only a
+// read-locked map lookup and an O(stack depth) walk over precomputed
+// arrays (see BenchmarkStateDistance).
+package dist
+
+import (
+	"container/heap"
+	"sync"
+
+	"esd/internal/cfa"
+	"esd/internal/mir"
+)
+
+// Infinite is the distance of a state that statically cannot reach the
+// goal. It is large enough to dominate any finite path cost yet small
+// enough that summing several Infinites cannot overflow int64 before the
+// add clamp catches them.
+const Infinite int64 = 1 << 60
+
+// Calculator answers stack-aware distance queries over one program. It is
+// safe for concurrent use; per-goal tables are computed once and cached.
+type Calculator struct {
+	prog *mir.Program
+	cg   *cfa.CallGraph
+
+	fns map[string]*fnGraph
+	// through[f] is the cheapest entry-to-return cost of f (Infinite when
+	// f cannot return).
+	through map[string]int64
+
+	mu    sync.RWMutex
+	goals map[mir.Loc]*goalTables
+}
+
+// fnGraph is a function's CFG flattened to instruction granularity.
+type fnGraph struct {
+	fn *mir.Func
+	// start[b] is the flat index of block b's first instruction.
+	start []int
+	instr []*mir.Instr
+	// preds[j] lists the flat indices whose execution can transfer control
+	// to instruction j (edge weight is the source instruction's step cost).
+	preds [][]int
+	rets  []int // flat indices of Ret terminators
+	// retDist[i] is the cheapest cost to execute from instruction i through
+	// a return of the function, inclusive of the Ret itself.
+	retDist []int64
+}
+
+func newFnGraph(f *mir.Func) *fnGraph {
+	g := &fnGraph{fn: f, start: make([]int, len(f.Blocks))}
+	n := 0
+	for i, blk := range f.Blocks {
+		g.start[i] = n
+		n += len(blk.Instrs)
+	}
+	g.instr = make([]*mir.Instr, 0, n)
+	g.preds = make([][]int, n)
+	for _, blk := range f.Blocks {
+		g.instr = append(g.instr, blk.Instrs...)
+	}
+	for _, blk := range f.Blocks {
+		for i, in := range blk.Instrs {
+			src := g.start[blk.ID] + i
+			switch {
+			case !in.Op.IsTerminator():
+				g.preds[src+1] = append(g.preds[src+1], src)
+			case in.Op == mir.Jmp:
+				g.preds[g.start[in.Then]] = append(g.preds[g.start[in.Then]], src)
+			case in.Op == mir.Br:
+				g.preds[g.start[in.Then]] = append(g.preds[g.start[in.Then]], src)
+				if in.Else != in.Then {
+					g.preds[g.start[in.Else]] = append(g.preds[g.start[in.Else]], src)
+				}
+			case in.Op == mir.Ret:
+				g.rets = append(g.rets, src)
+			}
+			// Abort: control never continues.
+		}
+	}
+	return g
+}
+
+// flat maps a location to its flat instruction index.
+func (g *fnGraph) flat(l mir.Loc) (int, bool) {
+	if l.Block < 0 || l.Block >= len(g.fn.Blocks) {
+		return 0, false
+	}
+	if l.Index < 0 || l.Index >= len(g.fn.Blocks[l.Block].Instrs) {
+		return 0, false
+	}
+	return g.start[l.Block] + l.Index, true
+}
+
+// goalTables holds the memoized per-goal distances; once guards the
+// computation so concurrent first queries for the same goal build it once.
+type goalTables struct {
+	once sync.Once
+	// toGoal[f][i] is the cheapest cost from instruction i of f to the
+	// goal. Functions that cannot reach the goal have no entry.
+	toGoal map[string][]int64
+}
+
+// NewCalculator builds the goal-independent layer: flattened CFGs, the call
+// graph, and the through/distToRet function summaries.
+func NewCalculator(prog *mir.Program) *Calculator {
+	return NewCalculatorWith(cfa.BuildCallGraph(prog))
+}
+
+// NewCalculatorWith is NewCalculator over a prebuilt call graph (shared
+// with the cfa analyses of the same program).
+func NewCalculatorWith(cg *cfa.CallGraph) *Calculator {
+	prog := cg.Prog
+	c := &Calculator{
+		prog:    prog,
+		cg:      cg,
+		fns:     make(map[string]*fnGraph, len(prog.Funcs)),
+		through: make(map[string]int64, len(prog.Funcs)),
+		goals:   map[mir.Loc]*goalTables{},
+	}
+	for name, f := range prog.Funcs {
+		c.fns[name] = newFnGraph(f)
+		c.through[name] = Infinite
+	}
+	// Through-cost fixpoint: costs only decrease (a callee's through
+	// dropping can only shorten its callers' return paths), so iterate
+	// until stable. Leaf functions settle in the first round; the round
+	// count is bounded by the call-graph depth.
+	for changed := true; changed; {
+		changed = false
+		for _, name := range c.prog.Order {
+			rd := c.intraRetDist(c.fns[name])
+			if len(rd) > 0 && rd[0] < c.through[name] {
+				c.through[name] = rd[0]
+				changed = true
+			}
+		}
+	}
+	for _, name := range c.prog.Order {
+		c.fns[name].retDist = c.intraRetDist(c.fns[name])
+	}
+	return c
+}
+
+// add is Infinite-saturating addition.
+func add(a, b int64) int64 {
+	if a >= Infinite || b >= Infinite {
+		return Infinite
+	}
+	return a + b
+}
+
+// stepWeight is the cost of executing one instruction and arriving at its
+// intra-function successor. Calls cost the call itself plus the cheapest
+// complete execution of some callee; an indirect call with no address-taken
+// targets cannot execute at all.
+func (c *Calculator) stepWeight(in *mir.Instr) int64 {
+	if in.Op != mir.Call {
+		// ThreadCreate returns to the spawner immediately; the spawned
+		// thread's cost is not on this thread's path.
+		return 1
+	}
+	targets := c.cg.Targets(in)
+	if len(targets) == 0 {
+		return Infinite
+	}
+	best := Infinite
+	for _, t := range targets {
+		if th := c.through[t]; th < best {
+			best = th
+		}
+	}
+	return add(1, best)
+}
+
+// intraRetDist computes, for every instruction of g, the cheapest cost to
+// execute from it through a return of the function (using the current
+// through summaries for calls it steps over).
+func (c *Calculator) intraRetDist(g *fnGraph) []int64 {
+	d := newDistArray(len(g.instr))
+	var pq pqueue
+	for _, r := range g.rets {
+		d[r] = 1 // executing the Ret completes the function
+		heap.Push(&pq, pqItem{r, 1})
+	}
+	c.relax(g, d, &pq)
+	return d
+}
+
+// relax runs backward Dijkstra: pops settle in increasing distance order
+// and propagate to predecessors with the source instruction's step weight.
+func (c *Calculator) relax(g *fnGraph, d []int64, pq *pqueue) {
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.d > d[it.i] {
+			continue // stale entry
+		}
+		for _, p := range g.preds[it.i] {
+			nd := add(c.stepWeight(g.instr[p]), it.d)
+			if nd < d[p] {
+				d[p] = nd
+				heap.Push(pq, pqItem{p, nd})
+			}
+		}
+	}
+}
+
+// tables returns (building if necessary) the memoized tables for goal.
+func (c *Calculator) tables(goal mir.Loc) *goalTables {
+	c.mu.RLock()
+	gt := c.goals[goal]
+	c.mu.RUnlock()
+	if gt == nil {
+		c.mu.Lock()
+		if gt = c.goals[goal]; gt == nil {
+			gt = &goalTables{}
+			c.goals[goal] = gt
+		}
+		c.mu.Unlock()
+	}
+	gt.once.Do(func() { c.computeGoal(goal, gt) })
+	return gt
+}
+
+// computeGoal builds the per-goal distance tables: a fixpoint over the
+// functions that can reach the goal's function, each round recomputing
+// every function's intra-procedural distances with the current
+// entry-to-goal costs of its callees. Entry costs only decrease, so the
+// loop terminates; the final round runs with converged entries, leaving
+// every stored table consistent.
+func (c *Calculator) computeGoal(goal mir.Loc, gt *goalTables) {
+	gt.toGoal = map[string][]int64{}
+	g := c.fns[goal.Fn]
+	if g == nil {
+		return // unknown goal: every query will answer Infinite
+	}
+	if _, ok := g.flat(goal); !ok {
+		return
+	}
+	reach := c.cg.Reachers(goal.Fn)
+	entry := make(map[string]int64, len(reach))
+	for fn := range reach {
+		entry[fn] = Infinite
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range c.prog.Order {
+			if !reach[name] {
+				continue
+			}
+			tg := c.intraToGoal(c.fns[name], name, goal, entry)
+			if len(tg) > 0 && tg[0] < entry[name] {
+				entry[name] = tg[0]
+				changed = true
+			}
+			gt.toGoal[name] = tg
+		}
+	}
+}
+
+// intraToGoal computes the cheapest cost from every instruction of fn to
+// the goal: either a local CFG path (stepping over calls at through cost),
+// or entering a call/spawn whose target can reach the goal.
+func (c *Calculator) intraToGoal(g *fnGraph, name string, goal mir.Loc, entry map[string]int64) []int64 {
+	d := newDistArray(len(g.instr))
+	var pq pqueue
+	if name == goal.Fn {
+		if i, ok := g.flat(goal); ok {
+			d[i] = 0 // being at the goal is distance zero
+			heap.Push(&pq, pqItem{i, 0})
+		}
+	}
+	for i, in := range g.instr {
+		if in.Op != mir.Call && in.Op != mir.ThreadCreate {
+			continue
+		}
+		for _, t := range c.cg.Targets(in) {
+			if e, ok := entry[t]; ok && e < Infinite {
+				if nd := add(1, e); nd < d[i] {
+					d[i] = nd
+					heap.Push(&pq, pqItem{i, nd})
+				}
+			}
+		}
+	}
+	c.relax(g, d, &pq)
+	return d
+}
+
+// StateDistance is Algorithm 1: the cheapest static cost for a thread with
+// the given call stack (outermost frame first, each frame's Loc naming the
+// next instruction it will execute) to reach goal. It returns 0 when the
+// innermost frame is already at the goal and Infinite when no CFG path
+// exists.
+func (c *Calculator) StateDistance(stack []mir.Loc, goal mir.Loc) int64 {
+	gt := c.tables(goal)
+	best := Infinite
+	var unwind int64 // cost of returning out of every frame below the current one
+	for k := len(stack) - 1; k >= 0; k-- {
+		loc := stack[k]
+		g := c.fns[loc.Fn]
+		if g == nil {
+			break
+		}
+		i, ok := g.flat(loc)
+		if !ok {
+			break
+		}
+		if tg := gt.toGoal[loc.Fn]; tg != nil {
+			if d := add(unwind, tg[i]); d < best {
+				best = d
+			}
+		}
+		unwind = add(unwind, g.retDist[i])
+		if unwind >= Infinite {
+			break // this frame can never return: outer frames are unreachable
+		}
+	}
+	return best
+}
+
+// Through returns the cheapest entry-to-return cost of fn (Infinite when
+// fn cannot return or does not exist). Exposed for diagnostics and tests.
+func (c *Calculator) Through(fn string) int64 {
+	if th, ok := c.through[fn]; ok {
+		return th
+	}
+	return Infinite
+}
+
+// DistToReturn returns the cheapest cost from loc through a return of its
+// function, the Ret included (Infinite when none is reachable).
+func (c *Calculator) DistToReturn(loc mir.Loc) int64 {
+	g := c.fns[loc.Fn]
+	if g == nil {
+		return Infinite
+	}
+	i, ok := g.flat(loc)
+	if !ok {
+		return Infinite
+	}
+	return g.retDist[i]
+}
+
+// CachedGoals reports how many goals have memoized tables (diagnostics).
+func (c *Calculator) CachedGoals() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.goals)
+}
+
+func newDistArray(n int) []int64 {
+	d := make([]int64, n)
+	for i := range d {
+		d[i] = Infinite
+	}
+	return d
+}
+
+// pqItem is a (flat index, tentative distance) pair in the Dijkstra queue.
+type pqItem struct {
+	i int
+	d int64
+}
+
+type pqueue []pqItem
+
+func (q pqueue) Len() int            { return len(q) }
+func (q pqueue) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old) - 1
+	it := old[n]
+	*q = old[:n]
+	return it
+}

@@ -14,6 +14,9 @@ func quick() Config {
 }
 
 func TestTable1AllFound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes all 8 Table-1 bugs; skipped with -short")
+	}
 	rows, err := Table1(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +39,9 @@ func TestTable1AllFound(t *testing.T) {
 }
 
 func TestFigure3SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BPF synthesis sweep; skipped with -short")
+	}
 	rows, err := Figure3(quick())
 	if err != nil {
 		t.Fatal(err)

@@ -78,7 +78,9 @@ type Options struct {
 	WithRaceDetector bool
 
 	// Ablations (§7.3 analysis of the three focusing techniques).
-	NoProximity         bool // ignore distance ordering (FIFO within queues)
+	// NoProximity disables the distance heuristic entirely: queues become
+	// FIFO and the Infinite-distance pruning gate is skipped.
+	NoProximity         bool
 	NoIntermediateGoals bool // only final goals get queues
 	NoCriticalEdges     bool // disable static pruning
 }
@@ -129,9 +131,10 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 	if len(goals) == 0 {
 		return nil, fmt.Errorf("search: report has no goals")
 	}
+	cg := cfa.BuildCallGraph(prog)
 	var analyses []*cfa.Analysis
 	for _, g := range goals {
-		a, err := cfa.Analyze(prog, g)
+		a, err := cfa.AnalyzeWith(cg, g)
 		if err != nil {
 			return nil, err
 		}
@@ -178,8 +181,9 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 		eng:        eng,
 		sol:        sol,
 		analyses:   analyses,
-		calc:       dist.NewCalculator(prog),
+		calc:       dist.NewCalculatorWith(cg),
 		queueGoals: queueGoals,
+		finalGoals: goals,
 		rng:        rand.New(rand.NewSource(opts.Seed + 1)),
 	}
 
@@ -217,6 +221,7 @@ type searcher struct {
 	analyses   []*cfa.Analysis
 	calc       *dist.Calculator
 	queueGoals [][]mir.Loc
+	finalGoals []mir.Loc
 	rng        *rand.Rand
 
 	// pool is the set of live states. For DFS/RandomPath it is used as an
@@ -517,6 +522,20 @@ func (s *searcher) prunable(st *symex.State) bool {
 			}
 		}
 		if !reachable {
+			return true
+		}
+	}
+	// Second gate: the proximity calculator's Infinite is an instruction-
+	// granular unreachability proof — stronger than the block-level check
+	// above because it also accounts for non-returning calls on every path
+	// (a thread stuck below a frame that can never return is dead even when
+	// its blocks look goal-reaching). Gated on NoProximity so the §7.3
+	// ablation really runs without any distance information.
+	if s.opts.NoProximity {
+		return false
+	}
+	for _, g := range s.finalGoals {
+		if s.stateDistance(st, []mir.Loc{g}) >= dist.Infinite {
 			return true
 		}
 	}
