@@ -147,6 +147,65 @@ func NewCalculator(prog *mir.Program) *Calculator {
 	return NewCalculatorWith(cfa.BuildCallGraph(prog))
 }
 
+// sharedCalcs is the cross-run Calculator cache. Harnesses rebuild
+// structurally identical programs for every configuration of a sweep
+// (esdexp ablations, benchmark re-runs); the per-goal tables are the
+// expensive part of a Calculator, and everything a cached table answers is
+// expressed in location/name terms, so a Calculator built from one copy of
+// a program answers queries for any identical copy. The key pairs the
+// structural fingerprint with the program's name and sizes, so a bare
+// 64-bit hash collision cannot silently serve the wrong program's tables.
+type calcKey struct {
+	fp     uint64
+	name   string
+	funcs  int
+	instrs int
+}
+
+// calcEntry defers construction out of the cache lock: concurrent searches
+// on different programs build their Calculators in parallel, and ones on
+// the same program build it once.
+type calcEntry struct {
+	once sync.Once
+	calc *Calculator
+}
+
+var sharedCalcs = struct {
+	sync.Mutex
+	m map[calcKey]*calcEntry
+}{m: map[calcKey]*calcEntry{}}
+
+// ForProgram returns a Calculator for cg's program, reusing one built for
+// a structurally identical program in an earlier run when available. The
+// Calculator is safe for concurrent use, so sharing across simultaneous
+// searches is sound.
+func ForProgram(cg *cfa.CallGraph) *Calculator {
+	prog := cg.Prog
+	key := calcKey{
+		fp:     prog.Fingerprint(),
+		name:   prog.Name,
+		funcs:  len(prog.Funcs),
+		instrs: prog.NumInstrs(),
+	}
+	sharedCalcs.Lock()
+	ent := sharedCalcs.m[key]
+	if ent == nil {
+		ent = &calcEntry{}
+		sharedCalcs.m[key] = ent
+	}
+	sharedCalcs.Unlock()
+	ent.once.Do(func() { ent.calc = NewCalculatorWith(cg) })
+	return ent.calc
+}
+
+// ResetSharedCache drops all cross-run Calculators (tests and memory
+// pressure relief for long-lived processes).
+func ResetSharedCache() {
+	sharedCalcs.Lock()
+	defer sharedCalcs.Unlock()
+	sharedCalcs.m = map[calcKey]*calcEntry{}
+}
+
 // NewCalculatorWith is NewCalculator over a prebuilt call graph (shared
 // with the cfa analyses of the same program).
 func NewCalculatorWith(cg *cfa.CallGraph) *Calculator {

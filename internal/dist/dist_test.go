@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"esd/internal/cfa"
 	"esd/internal/lang"
 	"esd/internal/mir"
 )
@@ -569,5 +570,38 @@ func BenchmarkStateDistance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.StateDistance(stack, goal)
+	}
+}
+
+// ForProgram must hand structurally identical programs the same Calculator
+// (with its memoized goal tables), and distinct programs distinct ones.
+func TestForProgramCrossRunCache(t *testing.T) {
+	ResetSharedCache()
+	defer ResetSharedCache()
+
+	c1 := ForProgram(cfa.BuildCallGraph(buildLinear()))
+	goal := loc("main", 1, 0)
+	if d := c1.StateDistance([]mir.Loc{loc("main", 0, 0)}, goal); d >= Infinite {
+		t.Fatalf("goal unreachable in fixture: %d", d)
+	}
+	warmed := c1.CachedGoals()
+
+	// An independently built but identical program reuses the Calculator,
+	// goal tables included.
+	c2 := ForProgram(cfa.BuildCallGraph(buildLinear()))
+	if c2 != c1 {
+		t.Fatal("identical program did not reuse the cached Calculator")
+	}
+	if c2.CachedGoals() != warmed {
+		t.Fatalf("cached goal tables lost: %d vs %d", c2.CachedGoals(), warmed)
+	}
+
+	// A different program must not collide.
+	other := mir.NewProgram("other")
+	b := mir.NewFuncBuilder("main")
+	b.EmitRet(mir.I(0))
+	other.AddFunc(b.F)
+	if ForProgram(cfa.BuildCallGraph(other)) == c1 {
+		t.Fatal("distinct programs shared a Calculator")
 	}
 }

@@ -1,16 +1,18 @@
 // Package expr implements the symbolic term language used throughout ESD.
 //
-// Terms are immutable trees over 64-bit signed integers: constants, named
-// symbolic variables, unary and binary operators, and comparisons (which
-// evaluate to 0 or 1). The package provides structural construction with
-// on-the-fly algebraic simplification, a concrete evaluator, and free
-// variable collection. The constraint solver (internal/solver) decides
-// satisfiability of conjunctions of boolean-valued terms.
+// Terms are immutable, hash-consed DAGs over 64-bit signed integers:
+// constants, named symbolic variables, unary and binary operators, and
+// comparisons (which evaluate to 0 or 1). Construction performs on-the-fly
+// algebraic simplification and interns the result (intern.go), so
+// structurally equal terms are pointer-equal, Hash is a field read, and
+// every node carries its free-variable set. Substitution (subst.go) is
+// memoized by node identity and short-circuits on the cached var-sets. The
+// constraint solver (internal/solver) decides satisfiability of
+// conjunctions of boolean-valued terms.
 package expr
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -67,7 +69,10 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", int(o))
 }
 
-// Expr is an immutable symbolic term. A nil *Expr is invalid.
+// Expr is an immutable, interned symbolic term: structurally equal terms
+// are represented by the same pointer. A nil *Expr is invalid. The
+// exported fields are read-only — mutating a node corrupts the intern
+// table for every holder of the pointer.
 type Expr struct {
 	Op   Op
 	C    int64  // OpConst value
@@ -75,14 +80,17 @@ type Expr struct {
 	A, B *Expr  // operands (A for unary; A,B for binary; Cond in A for Ite)
 	T, F *Expr  // Ite branches
 
-	hash uint64 // structural hash, computed at construction
+	hash uint64  // structural hash, computed at construction
+	id   uint64  // process-unique intern ID, for identity-keyed caches
+	vars *varSet // cached free-variable set
 }
 
 // Const returns a constant term.
 func Const(v int64) *Expr {
-	e := &Expr{Op: OpConst, C: v}
-	e.hash = e.computeHash()
-	return e
+	if v >= constCacheMin && v <= constCacheMax {
+		return constCache[v-constCacheMin]
+	}
+	return intern(OpConst, v, "", nil, nil, nil, nil)
 }
 
 // Bool returns the constant 1 or 0 for b.
@@ -95,9 +103,7 @@ func Bool(b bool) *Expr {
 
 // Var returns a symbolic variable term with the given name.
 func Var(name string) *Expr {
-	e := &Expr{Op: OpVar, Name: name}
-	e.hash = e.computeHash()
-	return e
+	return intern(OpVar, 0, name, nil, nil, nil, nil)
 }
 
 // IsConst reports whether e is a constant, returning its value.
@@ -119,55 +125,17 @@ func (e *Expr) IsBoolOp() bool {
 	return false
 }
 
-func (e *Expr) computeHash() uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		h ^= v
-		h *= prime
-	}
-	mix(uint64(e.Op))
-	mix(uint64(e.C))
-	for i := 0; i < len(e.Name); i++ {
-		mix(uint64(e.Name[i]))
-	}
-	if e.A != nil {
-		mix(e.A.hash)
-	}
-	if e.B != nil {
-		mix(e.B.hash ^ 0x9e3779b97f4a7c15)
-	}
-	if e.T != nil {
-		mix(e.T.hash ^ 0xdeadbeef)
-	}
-	if e.F != nil {
-		mix(e.F.hash ^ 0xcafebabe)
-	}
-	return h
-}
-
 // Hash returns a structural hash of the term.
 func (e *Expr) Hash() uint64 { return e.hash }
 
-// Equal reports structural equality.
-func (e *Expr) Equal(o *Expr) bool {
-	if e == o {
-		return true
-	}
-	if e == nil || o == nil {
-		return false
-	}
-	if e.hash != o.hash || e.Op != o.Op || e.C != o.C || e.Name != o.Name {
-		return false
-	}
-	eq := func(a, b *Expr) bool {
-		if a == nil || b == nil {
-			return a == b
-		}
-		return a.Equal(b)
-	}
-	return eq(e.A, o.A) && eq(e.B, o.B) && eq(e.T, o.T) && eq(e.F, o.F)
-}
+// ID returns the term's process-unique intern ID. Structurally equal terms
+// share an ID; use it to key identity-based caches (e.g. the solver's
+// query cache) without hash-collision risk.
+func (e *Expr) ID() uint64 { return e.id }
+
+// Equal reports structural equality. Interning makes this a pointer
+// comparison.
+func (e *Expr) Equal(o *Expr) bool { return e == o }
 
 func evalBinConst(op Op, a, b int64) (int64, bool) {
 	switch op {
@@ -345,15 +313,12 @@ func foldLinear(op Op, a, b *Expr) (*Expr, bool) {
 		for v, c := range sum.coeff {
 			var t *Expr = Var(v)
 			if c != 1 {
-				t = &Expr{Op: OpMul, A: t, B: Const(c)}
-				t.hash = t.computeHash()
+				t = intern(OpMul, 0, "", t, Const(c), nil, nil)
 			}
 			if sum.k == 0 {
 				return t, true
 			}
-			out := &Expr{Op: OpAdd, A: t, B: Const(sum.k)}
-			out.hash = out.computeHash()
-			return out, true
+			return intern(OpAdd, 0, "", t, Const(sum.k), nil, nil), true
 		}
 	}
 	return nil, false
@@ -478,9 +443,7 @@ func Binary(op Op, a, b *Expr) *Expr {
 			return Binary(OpLe, b, a)
 		}
 	}
-	e := &Expr{Op: op, A: a, B: b}
-	e.hash = e.computeHash()
-	return e
+	return intern(op, 0, "", a, b, nil, nil)
 }
 
 // truth coerces a term to {0,1}: returns e if already boolean, else e != 0.
@@ -531,9 +494,7 @@ func Unary(op Op, a *Expr) *Expr {
 			return a.A
 		}
 	}
-	e := &Expr{Op: op, A: a}
-	e.hash = e.computeHash()
-	return e
+	return intern(op, 0, "", a, nil, nil, nil)
 }
 
 // Ite builds cond ? t : f with simplification.
@@ -544,12 +505,10 @@ func Ite(cond, t, f *Expr) *Expr {
 		}
 		return f
 	}
-	if t.Equal(f) {
+	if t == f {
 		return t
 	}
-	e := &Expr{Op: OpIte, A: cond, T: t, F: f}
-	e.hash = e.computeHash()
-	return e
+	return intern(OpIte, 0, "", cond, nil, t, f)
 }
 
 // Not returns the logical negation of e (coerced to boolean).
@@ -609,50 +568,36 @@ func (e *Expr) Eval(env map[string]int64) (int64, error) {
 	}
 }
 
-// Vars appends the names of e's free variables to dst (deduplicated, sorted).
-func (e *Expr) Vars() []string {
-	set := map[string]bool{}
-	e.collectVars(set)
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// Vars returns the names of e's free variables, deduplicated and sorted.
+// The set is cached at construction, so this is a field read. The slice is
+// shared by every term with the same variable set: callers must not modify
+// it.
+func (e *Expr) Vars() []string { return e.vars.names() }
 
-func (e *Expr) collectVars(set map[string]bool) {
-	if e == nil {
-		return
-	}
-	if e.Op == OpVar {
-		set[e.Name] = true
-		return
-	}
-	e.A.collectVars(set)
-	e.B.collectVars(set)
-	e.T.collectVars(set)
-	e.F.collectVars(set)
+// NumVars returns the size of e's free-variable set without materializing
+// the name slice.
+func (e *Expr) NumVars() int { return len(e.vars.ids) }
+
+// VarIDs returns e's free variables as their interned name IDs, sorted
+// ascending. IDs are process-unique and stable for the process lifetime;
+// the slice is shared by every term with the same variable set and must
+// not be modified. This is the allocation-free form of Vars for callers
+// that only need set algebra (the solver's independence partitioning).
+func (e *Expr) VarIDs() []int32 { return e.vars.ids }
+
+// HasVar reports whether the named variable occurs free in e, using the
+// cached variable set (no tree walk).
+func (e *Expr) HasVar(name string) bool {
+	id, ok := lookupNameID(name)
+	return ok && e.vars.has(id)
 }
 
 // Substitute returns e with every occurrence of variable name replaced by
-// replacement, re-simplifying along the way.
+// replacement, re-simplifying along the way. For repeated substitution of
+// the same binding across several terms, build one Subst and Apply it so
+// the memo is shared.
 func (e *Expr) Substitute(name string, replacement *Expr) *Expr {
-	switch e.Op {
-	case OpConst:
-		return e
-	case OpVar:
-		if e.Name == name {
-			return replacement
-		}
-		return e
-	case OpNeg, OpNot, OpBNot:
-		return Unary(e.Op, e.A.Substitute(name, replacement))
-	case OpIte:
-		return Ite(e.A.Substitute(name, replacement), e.T.Substitute(name, replacement), e.F.Substitute(name, replacement))
-	default:
-		return Binary(e.Op, e.A.Substitute(name, replacement), e.B.Substitute(name, replacement))
-	}
+	return NewSubst(name, replacement).Apply(e)
 }
 
 // String renders the term in infix form.

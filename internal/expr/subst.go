@@ -1,0 +1,49 @@
+package expr
+
+// Subst is a memoized single-variable substitution. The memo is keyed by
+// node identity (valid because terms are interned) and carries across
+// Apply calls, so a constraint set sharing subtrees is rewritten once per
+// distinct node — the DAG cost, not the exponential tree cost.
+type Subst struct {
+	id   int32 // interned name ID; -1 when the name was never interned
+	repl *Expr
+	memo map[*Expr]*Expr
+}
+
+// NewSubst prepares the substitution name -> replacement.
+func NewSubst(name string, replacement *Expr) *Subst {
+	id, ok := lookupNameID(name)
+	if !ok {
+		// The name has never appeared in any term, so the substitution is
+		// the identity everywhere.
+		id = -1
+	}
+	return &Subst{id: id, repl: replacement}
+}
+
+// Apply returns e with the substitution applied, re-simplifying along the
+// way. Terms whose cached variable set misses the name are returned as-is.
+func (s *Subst) Apply(e *Expr) *Expr {
+	if s.id < 0 || !e.vars.has(s.id) {
+		return e
+	}
+	if out, ok := s.memo[e]; ok {
+		return out
+	}
+	var out *Expr
+	switch e.Op {
+	case OpVar:
+		out = s.repl // the var-set hit means the name matches
+	case OpNeg, OpNot, OpBNot:
+		out = Unary(e.Op, s.Apply(e.A))
+	case OpIte:
+		out = Ite(s.Apply(e.A), s.Apply(e.T), s.Apply(e.F))
+	default:
+		out = Binary(e.Op, s.Apply(e.A), s.Apply(e.B))
+	}
+	if s.memo == nil {
+		s.memo = map[*Expr]*Expr{}
+	}
+	s.memo[e] = out
+	return out
+}

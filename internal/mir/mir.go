@@ -465,3 +465,78 @@ func (p *Program) InstrAt(l Loc) *Instr {
 	}
 	return b.Instrs[l.Index]
 }
+
+// Fingerprint returns a structural hash of the program: two programs with
+// equal fingerprints have identical functions, globals, and instruction
+// streams (positions included). It keys cross-run analysis caches
+// (internal/dist) so harnesses that rebuild the same program — esdexp
+// re-running one app across configurations — reuse the analysis.
+func (p *Program) Fingerprint() uint64 {
+	h := fingerprinter{h: 14695981039346656037}
+	h.str(p.Name)
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		h.str(f.Name)
+		for _, param := range f.Params {
+			h.str(param)
+		}
+		h.num(int64(f.NumRegs))
+		h.str(f.Pos.File)
+		h.num(int64(f.Pos.Line))
+		for _, blk := range f.Blocks {
+			h.num(int64(blk.ID))
+			h.str(blk.Label)
+			for _, in := range blk.Instrs {
+				h.num(int64(in.Op))
+				h.num(int64(in.Dst))
+				h.operand(in.A)
+				h.operand(in.B)
+				h.operand(in.C)
+				h.num(in.Imm)
+				h.num(int64(in.ALU))
+				h.str(in.Sym)
+				h.num(int64(len(in.Args)))
+				for _, a := range in.Args {
+					h.operand(a)
+				}
+				h.num(int64(in.Then))
+				h.num(int64(in.Else))
+				h.str(in.Pos.File)
+				h.num(int64(in.Pos.Line))
+			}
+		}
+	}
+	for _, g := range p.Globals {
+		h.str(g.Name)
+		h.num(int64(g.Size))
+		for _, v := range g.Init {
+			h.num(v)
+		}
+	}
+	return h.h
+}
+
+// fingerprinter is an FNV-1a accumulator over mixed ints and strings.
+type fingerprinter struct{ h uint64 }
+
+const fingerprintPrime = 1099511628211
+
+func (f *fingerprinter) num(v int64) {
+	f.h ^= uint64(v)
+	f.h *= fingerprintPrime
+}
+
+func (f *fingerprinter) str(s string) {
+	// Length first so adjacent strings cannot alias each other.
+	f.num(int64(len(s)))
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= fingerprintPrime
+	}
+}
+
+func (f *fingerprinter) operand(o Operand) {
+	f.num(int64(o.Kind))
+	f.num(int64(o.R))
+	f.num(o.Val)
+}

@@ -171,3 +171,28 @@ func TestOperandString(t *testing.T) {
 		t.Fatal("operand rendering broken")
 	}
 }
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a, b := buildValid(), buildValid()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical programs must share a fingerprint")
+	}
+	// Perturb one immediate: fingerprint must move.
+	c := buildValid()
+	c.Funcs["main"].Blocks[0].Instrs[0].Imm = 8
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("changed instruction stream kept the fingerprint")
+	}
+	// Perturb a global initializer.
+	d := buildValid()
+	d.Globals[0].Init[1] = 3
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Fatal("changed global init kept the fingerprint")
+	}
+	// Perturb only a position: still a different program identity.
+	e := buildValid()
+	e.Funcs["main"].Blocks[0].Instrs[0].Pos = Pos{File: "x.c", Line: 9}
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Fatal("changed position kept the fingerprint")
+	}
+}

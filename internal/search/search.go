@@ -181,7 +181,7 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 		eng:        eng,
 		sol:        sol,
 		analyses:   analyses,
-		calc:       dist.NewCalculatorWith(cg),
+		calc:       dist.ForProgram(cg),
 		queueGoals: queueGoals,
 		finalGoals: goals,
 		rng:        rand.New(rand.NewSource(opts.Seed + 1)),

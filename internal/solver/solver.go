@@ -62,7 +62,13 @@ type Solver struct {
 	// answering Unknown.
 	MaxNodes int
 
-	cache map[uint64]cacheEntry
+	// cache memoizes query results by the identity of the constraint set.
+	// Terms are interned (internal/expr), so the sorted slice of intern IDs
+	// is an exact key: no hash-collision false hits, no structural
+	// comparison. Entries are stored both for full queries and for each
+	// independent component, so extending a path condition by one conjunct
+	// re-solves only the component the new conjunct touches.
+	cache map[uint64][]cacheEntry
 
 	// Stats
 	Queries   int
@@ -70,13 +76,14 @@ type Solver struct {
 }
 
 type cacheEntry struct {
+	ids   []uint64 // sorted intern IDs of the constraint set
 	res   Result
 	model map[string]int64
 }
 
 // New returns a Solver with default limits.
 func New() *Solver {
-	return &Solver{MaxNodes: 20000, cache: make(map[uint64]cacheEntry)}
+	return &Solver{MaxNodes: 20000, cache: make(map[uint64][]cacheEntry)}
 }
 
 // interval is a closed integer range.
@@ -215,8 +222,8 @@ func (l linear) add(o linear) linear {
 // that is verified to satisfy all constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	s.Queries++
-	key := hashConstraints(constraints)
-	if ent, ok := s.cache[key]; ok {
+	key, ids := identKey(constraints)
+	if ent, ok := s.cacheGet(key, ids); ok {
 		s.CacheHits++
 		return ent.res, ent.model
 	}
@@ -225,17 +232,54 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	// Trivial scan first.
 	for _, c := range cs {
 		if v, ok := c.IsConst(); ok && v == 0 {
-			s.cache[key] = cacheEntry{res: Unsat}
+			s.cachePut(key, ids, Unsat, nil)
 			return Unsat, nil
 		}
 	}
 	cs = dropTrue(cs)
 	if len(cs) == 0 {
 		model := map[string]int64{}
-		s.cache[key] = cacheEntry{res: Sat, model: model}
+		s.cachePut(key, ids, Sat, model)
 		return Sat, model
 	}
 
+	// Independence partitioning: conjuncts over disjoint variable sets
+	// cannot influence each other, so each connected component is decided
+	// (and cached) on its own. Path-condition queries grow by one conjunct
+	// at a time, so all but the touched component hit the cache.
+	res, model := Sat, map[string]int64{}
+	for _, comp := range partition(cs) {
+		r, m := s.checkComponent(comp)
+		if r == Unsat {
+			res, model = Unsat, nil
+			break
+		}
+		if r == Unknown {
+			res, model = Unknown, nil
+			continue // keep scanning: a later Unsat component dominates
+		}
+		if res == Sat {
+			for k, v := range m {
+				model[k] = v
+			}
+		}
+	}
+	// No full-query re-verification: every Sat component model was verified
+	// by concrete evaluation before it was cached (checkComponent), and
+	// components have disjoint variable sets, so the merged model satisfies
+	// the conjunction by construction.
+	s.cachePut(key, ids, res, model)
+	return res, model
+}
+
+// checkComponent decides one variable-connected constraint group, with its
+// own cache entry keyed by the group's identity.
+func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
+	key, ids := identKey(cs)
+	if ent, ok := s.cacheGet(key, ids); ok {
+		s.CacheHits++
+		return ent.res, ent.model
+	}
 	st := &searchState{
 		solver:  s,
 		budget:  s.MaxNodes,
@@ -250,9 +294,11 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	}
 	res, model := st.search(cs)
 	if res == Sat {
-		// Verify the model by concrete evaluation; a model that fails
-		// verification indicates a solver bug, so fail closed to Unknown.
-		for _, c := range constraints {
+		// Verify before caching: a bogus model must not enter the cache as
+		// Sat (a single-conjunct component shares its cache key with the
+		// full query, so an unverified entry would shadow the fail-closed
+		// answer on repeat queries).
+		for _, c := range cs {
 			v, err := c.Eval(completeModel(model, c))
 			if err != nil || v == 0 {
 				res, model = Unknown, nil
@@ -260,8 +306,53 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 			}
 		}
 	}
-	s.cache[key] = cacheEntry{res: res, model: model}
+	s.cachePut(key, ids, res, model)
 	return res, model
+}
+
+// partition splits conjuncts into connected components of the
+// variable-sharing graph, preserving conjunct order within each component.
+// Variable-free conjuncts form their own singleton components.
+func partition(cs []*expr.Expr) [][]*expr.Expr {
+	if len(cs) <= 1 {
+		return [][]*expr.Expr{cs}
+	}
+	// Union-find over conjunct indices, joined through variables.
+	parent := make([]int, len(cs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	owner := map[int32]int{} // variable ID -> first conjunct mentioning it
+	for i, c := range cs {
+		for _, v := range c.VarIDs() {
+			if j, ok := owner[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+	groups := map[int]int{} // root -> output index
+	var out [][]*expr.Expr
+	for i, c := range cs {
+		r := find(i)
+		gi, ok := groups[r]
+		if !ok {
+			gi = len(out)
+			groups[r] = gi
+			out = append(out, nil)
+		}
+		out[gi] = append(out[gi], c)
+	}
+	return out
 }
 
 // MayBeTrue reports whether cond can be true under the path constraints.
@@ -297,24 +388,74 @@ func completeModel(model map[string]int64, c *expr.Expr) map[string]int64 {
 	return env
 }
 
-func hashConstraints(cs []*expr.Expr) uint64 {
-	hs := make([]uint64, len(cs))
+// identKey canonicalizes a constraint set to its sorted, deduplicated
+// intern-ID slice plus a hash of it.
+func identKey(cs []*expr.Expr) (uint64, []uint64) {
+	ids := make([]uint64, len(cs))
 	for i, c := range cs {
-		hs[i] = c.Hash()
+		ids[i] = c.ID()
 	}
-	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Deduplicate: a repeated conjunct is the same constraint.
+	w := 0
+	for i, id := range ids {
+		if i == 0 || id != ids[w-1] {
+			ids[w] = id
+			w++
+		}
+	}
+	ids = ids[:w]
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
-	for _, v := range hs {
-		h ^= v
+	for _, id := range ids {
+		h ^= id
 		h *= prime
 	}
-	return h
+	return h, ids
 }
 
-// flatten splits top-level logical-ands into separate conjuncts.
+// matchEntry returns the index of the entry with exactly these ids in the
+// chain, or -1.
+func matchEntry(chain []cacheEntry, ids []uint64) int {
+outer:
+	for i, ent := range chain {
+		if len(ent.ids) != len(ids) {
+			continue
+		}
+		for j, id := range ids {
+			if ent.ids[j] != id {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+func (s *Solver) cacheGet(key uint64, ids []uint64) (cacheEntry, bool) {
+	chain := s.cache[key]
+	if i := matchEntry(chain, ids); i >= 0 {
+		return chain[i], true
+	}
+	return cacheEntry{}, false
+}
+
+func (s *Solver) cachePut(key uint64, ids []uint64, res Result, model map[string]int64) {
+	// Upsert: a full query and its single component share one id-key;
+	// keeping one entry per key avoids duplicates and shadowing.
+	chain := s.cache[key]
+	if i := matchEntry(chain, ids); i >= 0 {
+		chain[i] = cacheEntry{ids: ids, res: res, model: model}
+		return
+	}
+	s.cache[key] = append(chain, cacheEntry{ids: ids, res: res, model: model})
+}
+
+// flatten splits top-level logical-ands into separate conjuncts and drops
+// duplicate conjuncts (identity comparison — terms are interned).
 func flatten(cs []*expr.Expr) []*expr.Expr {
-	var out []*expr.Expr
+	out := make([]*expr.Expr, 0, len(cs))
+	seen := make(map[*expr.Expr]bool, len(cs))
 	var walk func(e *expr.Expr)
 	walk = func(e *expr.Expr) {
 		if e.Op == expr.OpLAnd {
@@ -322,7 +463,11 @@ func flatten(cs []*expr.Expr) []*expr.Expr {
 			walk(e.B)
 			return
 		}
-		out = append(out, expr.Truth(e))
+		t := expr.Truth(e)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
 	}
 	for _, c := range cs {
 		walk(c)
@@ -482,15 +627,12 @@ func unsatOrUnknown(sawUnknown bool) Result {
 
 func substituteAll(cs []*expr.Expr, v string, val int64) []*expr.Expr {
 	out := make([]*expr.Expr, 0, len(cs))
-	c := expr.Const(val)
+	// One Subst for the whole set: the memo is shared, so subtrees common
+	// to several constraints are rewritten once. Constraints whose cached
+	// var-set misses v are returned as-is by Apply (no walk, no copy).
+	sub := expr.NewSubst(v, expr.Const(val))
 	for _, e := range cs {
-		// Rebuilding a term is much more expensive than scanning it, so
-		// constraints that do not mention the variable are shared.
-		if !mentions(e, v) {
-			out = append(out, e)
-			continue
-		}
-		out = append(out, e.Substitute(v, c))
+		out = append(out, sub.Apply(e))
 	}
 	return out
 }
@@ -528,7 +670,7 @@ func (st *searchState) propagate(cs []*expr.Expr) ([]*expr.Expr, Result) {
 			if d.singleton() {
 				mentioned := false
 				for _, c := range cs {
-					if mentions(c, v) {
+					if c.HasVar(v) {
 						mentioned = true
 						break
 					}
@@ -541,16 +683,6 @@ func (st *searchState) propagate(cs []*expr.Expr) ([]*expr.Expr, Result) {
 		}
 	}
 	return cs, Unknown
-}
-
-func mentions(e *expr.Expr, v string) bool {
-	if e == nil {
-		return false
-	}
-	if e.Op == expr.OpVar {
-		return e.Name == v
-	}
-	return mentions(e.A, v) || mentions(e.B, v) || mentions(e.T, v) || mentions(e.F, v)
 }
 
 // tighten applies one constraint to the domains. Returns whether any domain
@@ -920,7 +1052,7 @@ func (st *searchState) candidates(cs []*expr.Expr, v string, dom interval) []int
 		// the right).
 		switch e.Op {
 		case expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
-			if c, ok := e.B.IsConst(); ok && mentions(e.A, v) {
+			if c, ok := e.B.IsConst(); ok && e.A.HasVar(v) {
 				add(c)
 				add(c - 1)
 				add(c + 1)
@@ -932,7 +1064,7 @@ func (st *searchState) candidates(cs []*expr.Expr, v string, dom interval) []int
 		mine(e.F)
 	}
 	for _, c := range cs {
-		if mentions(c, v) {
+		if c.HasVar(v) {
 			mine(c)
 		}
 	}

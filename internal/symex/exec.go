@@ -67,6 +67,14 @@ func (st *State) addConstraint(c *expr.Expr) {
 		return
 	}
 	t := expr.Truth(c)
+	// Loop bodies re-derive the same branch condition on every iteration;
+	// with interned terms a repeat is a pointer match, so a scan of the
+	// recent tail dedups the common case for free.
+	for i := len(st.Constraints) - 1; i >= 0 && i >= len(st.Constraints)-4; i-- {
+		if st.Constraints[i] == t {
+			return
+		}
+	}
 	st.Constraints = append(st.Constraints, t)
 	st.Box.Assume(t)
 }
@@ -103,14 +111,12 @@ func (e *Engine) concretize(st *State, v *expr.Expr) (int64, bool) {
 	if res != solver.Sat {
 		return 0, false
 	}
-	env := make(map[string]int64, len(model))
-	for k, val := range model {
-		env[k] = val
-	}
-	for _, name := range v.Vars() {
-		if _, ok := env[name]; !ok {
-			env[name] = 0
-		}
+	// Eval only consults v's free variables (cached on the interned term),
+	// so the env is built from those alone instead of copying the model.
+	vars := v.Vars()
+	env := make(map[string]int64, len(vars))
+	for _, name := range vars {
+		env[name] = model[name] // absent vars default to zero
 	}
 	k, err := v.Eval(env)
 	if err != nil {
