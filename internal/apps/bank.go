@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// bankSrc models a transfer engine with per-account locks taken in
+// argument order — the textbook transfer deadlock, but input-dependent:
+// both tellers block at the *same* lock statement (the destination
+// acquisition in transfer), and the hang exists only when the two routes
+// cross (A: x→y while B: y→x, x≠y) and both source balances pass the
+// funds check. Synthesis must therefore solve for aliasing inputs and the
+// schedule together, and the report's two wait locations collapse to one
+// static site — the duplicate-goal case of the graded schedule metric.
+const bankSrc = `
+// bank.c — scaled model of a core-banking transfer engine.
+
+int acct_lock[4];       // per-account locks
+int balance[4];
+int transfers;
+int rejected;
+
+int route_a_src; int route_a_dst;
+int route_b_src; int route_b_dst;
+
+// lookup_account resolves a customer code to an account slot through the
+// branch table. The ladder concretizes the slot per path, so each lock
+// identity below is a search decision, not a solver coin-flip.
+int lookup_account(int code) {
+	if (code == 1) { return 1; }
+	if (code == 2) { return 2; }
+	if (code == 3) { return 3; }
+	return 0;
+}
+
+int transfer(int src, int dst, int amt) {
+	if (src == dst) {
+		rejected++;
+		return -1;
+	}
+	if (amt <= 0) {
+		rejected++;
+		return -1;
+	}
+	lock(&acct_lock[src]);
+	if (balance[src] < amt) {
+		rejected++;
+		unlock(&acct_lock[src]);
+		return -1;
+	}
+	balance[src] = balance[src] - amt;
+	lock(&acct_lock[dst]);     // <-- both tellers block here in the hang
+	balance[dst] = balance[dst] + amt;
+	transfers++;
+	unlock(&acct_lock[dst]);
+	unlock(&acct_lock[src]);
+	return 0;
+}
+
+int teller_a(int amt) {
+	return transfer(lookup_account(route_a_src), lookup_account(route_a_dst), amt);
+}
+
+int teller_b(int amt) {
+	return transfer(lookup_account(route_b_src), lookup_account(route_b_dst), amt);
+}
+
+int main() {
+	route_a_src = input("a_src");
+	route_a_dst = input("a_dst");
+	route_b_src = input("b_src");
+	route_b_dst = input("b_dst");
+	for (int i = 0; i < 4; i++) {
+		balance[i] = 100 + i * 10;
+	}
+	int t1 = thread_create(teller_a, 25);
+	int t2 = thread_create(teller_b, 25);
+	thread_join(t1);
+	thread_join(t2);
+	return transfers * 100 + rejected;
+}`
+
+var bankApp = register(&App{
+	Name:          "bank",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        bankSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{"a_src": 2, "a_dst": 5, "b_src": 5, "b_dst": 2},
+	},
+	Usersite: usersite.Options{Seeds: 20000, PreemptPercent: 45},
+	Description: "Transfer engine: per-account locks taken in argument order " +
+		"deadlock when two tellers run crossing routes — the wait sites alias " +
+		"to one lock statement and the hang is input-dependent.",
+})

@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// logrotSrc models a logging subsystem with background rotation, an ABBA
+// inversion buried deeper than sqlite's: the writer takes the buffer lock
+// in log_append and reaches the file lock only two calls down
+// (flush_locked → sink_write), and only when the append crosses the flush
+// threshold; the rotator takes the file lock in do_rotate and reaches the
+// buffer lock one call down (drain_buffer), and only when rotation is
+// enabled in the environment. Neither lock order is visible in any single
+// function, which is how it survived review — and the buried inner sites
+// are what the graded sync-distance metric (activation radius > 0) exists
+// to find.
+const logrotSrc = `
+// logrot.c — scaled model of a logging subsystem with log rotation.
+// Subsystems: append path (buffer), sink (file), rotator.
+
+int buf_lock;           // guards logbuf/buffered
+int file_lock;          // guards file_size/file_gen
+int logbuf[8];
+int buffered;
+int file_size;
+int file_gen;
+int rotate_enabled;     // config: rotation worker armed (env)
+int flush_at;           // config: flush threshold (connection option)
+int lost;
+
+int sink_write(int v) {
+	lock(&file_lock);     // <-- writer blocks here in the hang
+	file_size = file_size + v;
+	unlock(&file_lock);
+	return 0;
+}
+
+int flush_locked() {
+	int total = 0;
+	for (int i = 0; i < buffered; i++) {
+		total = total + logbuf[i];
+	}
+	buffered = 0;
+	return sink_write(total);
+}
+
+int log_append(int v) {
+	lock(&buf_lock);
+	if (buffered >= 8) {
+		lost++;
+		unlock(&buf_lock);
+		return -1;
+	}
+	logbuf[buffered] = v;
+	buffered++;
+	if (buffered >= flush_at) {
+		// Flush while still holding the buffer lock (the buggy order).
+		flush_locked();
+	}
+	unlock(&buf_lock);
+	return 0;
+}
+
+int drain_buffer() {
+	lock(&buf_lock);      // <-- rotator blocks here in the hang
+	int n = buffered;
+	buffered = 0;
+	unlock(&buf_lock);
+	return n;
+}
+
+int do_rotate() {
+	lock(&file_lock);
+	file_gen++;
+	// Carry unflushed messages into the fresh file: takes the buffer lock
+	// while holding the file lock (the opposite order).
+	int carried = drain_buffer();
+	file_size = carried;
+	unlock(&file_lock);
+	return file_gen;
+}
+
+int writer_thread(int n) {
+	for (int i = 0; i < n; i++) {
+		log_append(10 + i * 7);
+	}
+	return 0;
+}
+
+int rotator_thread(int x) {
+	if (rotate_enabled) {
+		do_rotate();
+	}
+	return 0;
+}
+
+int main() {
+	int *cfg = getenv("LOGROT");
+	if (cfg[0] == '1') {
+		rotate_enabled = 1;
+	}
+	flush_at = input("flush_at");
+	int msgs = input("msgs");
+	if (flush_at < 1) { flush_at = 1; }
+	if (flush_at > 4) { flush_at = 4; }
+	if (msgs < 0) { msgs = 0; }
+	if (msgs > 4) { msgs = 4; }
+	int t1 = thread_create(writer_thread, msgs);
+	int t2 = thread_create(rotator_thread, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return file_size + lost;
+}`
+
+var logrotApp = register(&App{
+	Name:          "logrot",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        logrotSrc,
+	UserInputs: &usersite.Inputs{
+		Env:   map[string]string{"LOGROT": "1"},
+		Named: map[string]int64{"flush_at": 2, "msgs": 3},
+	},
+	Usersite: usersite.Options{Seeds: 20000, PreemptPercent: 45},
+	Description: "Log subsystem: the append path flushes to the file sink " +
+		"while holding the buffer lock, the rotator drains the buffer while " +
+		"holding the file lock — an ABBA inversion two calls deep on each side.",
+})

@@ -1,0 +1,173 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// pipelineSrc models a three-stage packet pipeline with a circular lock
+// order: each stage guards its queue with a lock, and in batched hand-off
+// mode a stage pushes downstream while still holding its own queue lock.
+// The emit stage recycles exhausted buffers back to the parse pool —
+// closing the ring parse→filter→emit→parse. With all three stages running
+// concurrently in batch mode, each can hold its own lock and wait for the
+// next stage's: a three-party circular wait that no pairwise lock-order
+// review catches. The hang needs batch mode (config input), a non-empty
+// backlog (workload input), and the right triple preemption, which is why
+// the single-threaded smoke tests never saw it.
+const pipelineSrc = `
+// pipeline.c — scaled model of a staged packet-processing pipeline.
+// Stages: parse -> filter -> emit, plus a buffer recycler on emit.
+
+int q_parse;            // parse-stage queue lock
+int q_filter;           // filter-stage queue lock
+int q_emit;             // emit-stage queue lock
+
+int n_parse;            // packets waiting to be parsed
+int filter_q[8]; int n_filter;
+int emit_q[8];   int n_emit;
+int free_bufs;          // recycled buffer pool (guarded by q_parse)
+
+int mode_batch;         // config: hand off downstream while holding own lock
+int emitted;
+int dropped;
+
+int push_filter(int pkt) {
+	lock(&q_filter);        // <-- parse blocks here in the hang
+	if (n_filter >= 8) {
+		unlock(&q_filter);
+		return -1;
+	}
+	filter_q[n_filter] = pkt;
+	n_filter++;
+	unlock(&q_filter);
+	return 0;
+}
+
+int push_emit(int pkt) {
+	lock(&q_emit);          // <-- filter blocks here in the hang
+	if (n_emit >= 8) {
+		unlock(&q_emit);
+		return -1;
+	}
+	emit_q[n_emit] = pkt;
+	n_emit++;
+	unlock(&q_emit);
+	return 0;
+}
+
+int recycle_buf() {
+	lock(&q_parse);         // <-- emit blocks here in the hang
+	free_bufs++;
+	unlock(&q_parse);
+	return free_bufs;
+}
+
+int parse_stage(int rounds) {
+	for (int i = 0; i < rounds; i++) {
+		lock(&q_parse);
+		if (n_parse <= 0) {
+			unlock(&q_parse);
+			return i;
+		}
+		n_parse--;
+		int pkt = 100 + n_parse * 3;
+		int sum = pkt - (pkt / 7) * 7;    // header checksum (mod 7)
+		if (mode_batch) {
+			// Batched hand-off: still holding q_parse.
+			if (push_filter(pkt + sum) < 0) {
+				dropped++;
+			}
+		}
+		unlock(&q_parse);
+		if (!mode_batch) {
+			if (push_filter(pkt + sum) < 0) {
+				dropped++;
+			}
+		}
+	}
+	return 0;
+}
+
+int filter_stage(int rounds) {
+	for (int i = 0; i < rounds; i++) {
+		lock(&q_filter);
+		if (n_filter == 0) {
+			unlock(&q_filter);
+		} else {
+			n_filter--;
+			int pkt = filter_q[n_filter];
+			if (mode_batch) {
+				// Batched hand-off: still holding q_filter.
+				if (push_emit(pkt) < 0) {
+					dropped++;
+				}
+			}
+			unlock(&q_filter);
+			if (!mode_batch) {
+				if (push_emit(pkt) < 0) {
+					dropped++;
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+int emit_stage(int rounds) {
+	for (int i = 0; i < rounds; i++) {
+		lock(&q_emit);
+		if (n_emit == 0) {
+			unlock(&q_emit);
+		} else {
+			n_emit--;
+			emitted++;
+			if (mode_batch) {
+				// Return the drained buffer to the parse pool while still
+				// holding q_emit: the edge that closes the ring.
+				recycle_buf();
+			}
+			unlock(&q_emit);
+			if (!mode_batch) {
+				recycle_buf();
+			}
+		}
+	}
+	return 0;
+}
+
+int main() {
+	mode_batch = input("mode_batch");
+	int backlog = input("backlog");
+	if (mode_batch != 1) {
+		mode_batch = 0;
+	}
+	if (backlog < 0) { backlog = 0; }
+	if (backlog > 8) { backlog = 8; }
+	n_parse = backlog;
+	// Pre-load the downstream queues so every stage has work immediately:
+	// the production configuration the bug was reported from.
+	filter_q[0] = 7; n_filter = 1;
+	emit_q[0] = 9;   n_emit = 1;
+	int t1 = thread_create(parse_stage, 3);
+	int t2 = thread_create(filter_stage, 3);
+	int t3 = thread_create(emit_stage, 3);
+	thread_join(t1);
+	thread_join(t2);
+	thread_join(t3);
+	return emitted + dropped;
+}`
+
+var pipelineApp = register(&App{
+	Name:          "pipeline",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        pipelineSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{"mode_batch": 1, "backlog": 4},
+	},
+	Usersite: usersite.Options{Seeds: 20000, PreemptPercent: 45},
+	Description: "Staged packet pipeline: batched hand-off holds each stage's " +
+		"queue lock while taking the next stage's, and the buffer recycler " +
+		"closes the ring — a three-lock circular wait (parse→filter→emit→parse).",
+})

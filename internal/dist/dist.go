@@ -1,51 +1,59 @@
-// Package dist implements ESD's proximity heuristic (§4 / Algorithm 1):
-// a static, conservative estimate of how many more MIR instructions a
-// thread must execute before control can reach a goal location.
+// Package dist implements ESD's proximity heuristics (§4 / Algorithm 1):
+// static, conservative estimates of how much work a thread must still do
+// before control can reach a goal location. Two metrics share one machinery:
 //
-// The estimate is built from three layers:
+//   - The *instruction* metric (StateDistance): every instruction costs one
+//     step. This is the data-distance of §4 that guides path search.
+//   - The *synchronization* metric (SyncDistance, §4.1): only sync
+//     operations (lock/unlock/wait/signal/create/join/yield) cost a step;
+//     all other instructions are free. This is the schedule distance that
+//     ranks how many scheduling-relevant events separate a thread from its
+//     goal lock site — the graded replacement for a binary near/far bias.
+//
+// Each metric is built from three layers:
 //
 //  1. Goal-independent function summaries. For every function the
-//     Calculator computes, at instruction granularity, the shortest
-//     CFG path from each instruction to a return of the function
-//     (distToRet), and from that the function's "through" cost — the
-//     cheapest entry-to-return path. A call instruction costs
-//     1 + through(callee), so the summaries are interprocedural: they
-//     account for the cheapest complete execution of every callee on the
-//     path. Functions from which no return is statically reachable (the
-//     abort-only wrappers) get an Infinite through cost, which correctly
-//     makes paths that must step over them unreachable.
+//     Calculator computes, at instruction granularity, the cheapest cost
+//     from each instruction to a return of the function (retDist), and from
+//     that the function's "through" cost — the cheapest entry-to-return
+//     path. A call costs its base cost plus through(callee), so the
+//     summaries are interprocedural: they account for the cheapest complete
+//     execution of every callee on the path. Functions from which no return
+//     is statically reachable (the abort-only wrappers) get an Infinite
+//     through cost, which correctly makes paths that must step over them
+//     unreachable.
 //
 //  2. Per-goal tables, computed lazily the first time a goal is queried
 //     and memoized for the lifetime of the Calculator. toGoal[f][i] is the
 //     cheapest cost from instruction i of f to the goal, where a call may
-//     either be stepped over (1 + through(callee)) or entered
-//     (1 + entry-to-goal cost of the callee). Entry costs are resolved by
-//     a fixpoint over the functions that can reach the goal's function in
-//     the call graph (internal/cfa's CallGraph, so proximity and pruning
+//     either be stepped over (base + through(callee)) or entered
+//     (base + entry-to-goal cost of the callee). Entry costs are resolved
+//     by a fixpoint over the functions that can reach the goal's function
+//     in the call graph (internal/cfa's CallGraph, so proximity and pruning
 //     agree on reachability). ThreadCreate spawn sites count as entries:
 //     a thread about to spawn the goal-reaching worker is close to the
 //     goal even though a different thread will ultimately execute it.
 //
 //  3. Stack-aware composition (Algorithm 1). A thread may reach the goal
 //     from its current frame, or return out of any number of frames and
-//     reach it from a caller. StateDistance walks the live stack from the
-//     innermost frame outward, accumulating the cost of unwinding
-//     (distToRet of each abandoned frame) and taking the minimum of
+//     reach it from a caller. StateDistance/SyncDistance walk the live
+//     stack from the innermost frame outward, accumulating the cost of
+//     unwinding (retDist of each abandoned frame) and taking the minimum of
 //     unwind-cost + toGoal at every resume point. Frames the thread can
 //     never return out of cut the walk off, so a thread stuck below a
-//     non-returning frame is Infinite unless the goal is still ahead of
-//     it.
+//     non-returning frame is Infinite unless the goal is still ahead of it.
 //
 // The search queries one Calculator from every virtual goal queue at every
 // scheduling step, so the memoized lookup path is the hottest code in the
-// system: after the first query for a goal, StateDistance performs only a
-// read-locked map lookup and an O(stack depth) walk over precomputed
-// arrays (see BenchmarkStateDistance).
+// system: after the first query for a goal, both distance functions perform
+// only a read-locked map lookup and an O(stack depth) walk over precomputed
+// arrays (see BenchmarkStateDistance and BenchmarkSyncDistance).
 package dist
 
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 
 	"esd/internal/cfa"
 	"esd/internal/mir"
@@ -64,9 +72,45 @@ type Calculator struct {
 	cg   *cfa.CallGraph
 
 	fns map[string]*fnGraph
+	// hasSync records whether the program contains any synchronization
+	// opcode; when it does not, every SyncDistance is trivially 0 or
+	// Infinite and callers can skip the sync component entirely.
+	hasSync bool
+
+	steps *metric // unit instruction cost (§4 data distance)
+
+	// The sync metric (§4.1 schedule distance) is built on first use:
+	// plain crash searches and sync-free programs never pay for it. The
+	// atomic pointer lets diagnostics observe without building.
+	syncOnce sync.Once
+	syncM    atomic.Pointer[metric]
+}
+
+// syncMetric returns (building on first use) the sync-operation metric.
+func (c *Calculator) syncMetric() *metric {
+	c.syncOnce.Do(func() {
+		c.syncM.Store(c.newMetric(func(op mir.Opcode) int64 {
+			if op.IsSync() {
+				return 1
+			}
+			return 0
+		}))
+	})
+	return c.syncM.Load()
+}
+
+// metric is one cost model's view of the program: through summaries,
+// per-instruction return distances, and memoized per-goal tables. The base
+// function assigns the cost of executing a single instruction.
+type metric struct {
+	c    *Calculator
+	base func(op mir.Opcode) int64
 	// through[f] is the cheapest entry-to-return cost of f (Infinite when
 	// f cannot return).
 	through map[string]int64
+	// retDist[f][i] is the cheapest cost to execute from instruction i of f
+	// through a return of the function, inclusive of the Ret itself.
+	retDist map[string][]int64
 
 	mu    sync.RWMutex
 	goals map[mir.Loc]*goalTables
@@ -82,9 +126,6 @@ type fnGraph struct {
 	// to instruction j (edge weight is the source instruction's step cost).
 	preds [][]int
 	rets  []int // flat indices of Ret terminators
-	// retDist[i] is the cheapest cost to execute from instruction i through
-	// a return of the function, inclusive of the Ret itself.
-	retDist []int64
 }
 
 func newFnGraph(f *mir.Func) *fnGraph {
@@ -142,7 +183,7 @@ type goalTables struct {
 }
 
 // NewCalculator builds the goal-independent layer: flattened CFGs, the call
-// graph, and the through/distToRet function summaries.
+// graph, and both metrics' through/retDist function summaries.
 func NewCalculator(prog *mir.Program) *Calculator {
 	return NewCalculatorWith(cfa.BuildCallGraph(prog))
 }
@@ -211,15 +252,35 @@ func ResetSharedCache() {
 func NewCalculatorWith(cg *cfa.CallGraph) *Calculator {
 	prog := cg.Prog
 	c := &Calculator{
-		prog:    prog,
-		cg:      cg,
-		fns:     make(map[string]*fnGraph, len(prog.Funcs)),
-		through: make(map[string]int64, len(prog.Funcs)),
-		goals:   map[mir.Loc]*goalTables{},
+		prog: prog,
+		cg:   cg,
+		fns:  make(map[string]*fnGraph, len(prog.Funcs)),
 	}
 	for name, f := range prog.Funcs {
-		c.fns[name] = newFnGraph(f)
-		c.through[name] = Infinite
+		g := newFnGraph(f)
+		c.fns[name] = g
+		for _, in := range g.instr {
+			if in.Op.IsSync() {
+				c.hasSync = true
+			}
+		}
+	}
+	c.steps = c.newMetric(func(mir.Opcode) int64 { return 1 })
+	return c
+}
+
+// newMetric builds one cost model's goal-independent layer: the through
+// fixpoint and the per-function return-distance arrays.
+func (c *Calculator) newMetric(base func(mir.Opcode) int64) *metric {
+	m := &metric{
+		c:       c,
+		base:    base,
+		through: make(map[string]int64, len(c.prog.Funcs)),
+		retDist: make(map[string][]int64, len(c.prog.Funcs)),
+		goals:   map[mir.Loc]*goalTables{},
+	}
+	for name := range c.prog.Funcs {
+		m.through[name] = Infinite
 	}
 	// Through-cost fixpoint: costs only decrease (a callee's through
 	// dropping can only shorten its callers' return paths), so iterate
@@ -228,17 +289,17 @@ func NewCalculatorWith(cg *cfa.CallGraph) *Calculator {
 	for changed := true; changed; {
 		changed = false
 		for _, name := range c.prog.Order {
-			rd := c.intraRetDist(c.fns[name])
-			if len(rd) > 0 && rd[0] < c.through[name] {
-				c.through[name] = rd[0]
+			rd := m.intraRetDist(c.fns[name])
+			if len(rd) > 0 && rd[0] < m.through[name] {
+				m.through[name] = rd[0]
 				changed = true
 			}
 		}
 	}
 	for _, name := range c.prog.Order {
-		c.fns[name].retDist = c.intraRetDist(c.fns[name])
+		m.retDist[name] = m.intraRetDist(c.fns[name])
 	}
-	return c
+	return m
 }
 
 // add is Infinite-saturating addition.
@@ -253,49 +314,52 @@ func add(a, b int64) int64 {
 // intra-function successor. Calls cost the call itself plus the cheapest
 // complete execution of some callee; an indirect call with no address-taken
 // targets cannot execute at all.
-func (c *Calculator) stepWeight(in *mir.Instr) int64 {
+func (m *metric) stepWeight(in *mir.Instr) int64 {
 	if in.Op != mir.Call {
 		// ThreadCreate returns to the spawner immediately; the spawned
 		// thread's cost is not on this thread's path.
-		return 1
+		return m.base(in.Op)
 	}
-	targets := c.cg.Targets(in)
+	targets := m.c.cg.Targets(in)
 	if len(targets) == 0 {
 		return Infinite
 	}
 	best := Infinite
 	for _, t := range targets {
-		if th := c.through[t]; th < best {
+		if th := m.through[t]; th < best {
 			best = th
 		}
 	}
-	return add(1, best)
+	return add(m.base(in.Op), best)
 }
 
 // intraRetDist computes, for every instruction of g, the cheapest cost to
 // execute from it through a return of the function (using the current
 // through summaries for calls it steps over).
-func (c *Calculator) intraRetDist(g *fnGraph) []int64 {
+func (m *metric) intraRetDist(g *fnGraph) []int64 {
 	d := newDistArray(len(g.instr))
 	var pq pqueue
 	for _, r := range g.rets {
-		d[r] = 1 // executing the Ret completes the function
-		heap.Push(&pq, pqItem{r, 1})
+		// Executing the Ret completes the function at the Ret's base cost.
+		d[r] = m.base(mir.Ret)
+		heap.Push(&pq, pqItem{r, d[r]})
 	}
-	c.relax(g, d, &pq)
+	m.relax(g, d, &pq)
 	return d
 }
 
 // relax runs backward Dijkstra: pops settle in increasing distance order
 // and propagate to predecessors with the source instruction's step weight.
-func (c *Calculator) relax(g *fnGraph, d []int64, pq *pqueue) {
+// Zero-cost edges (the sync metric's non-sync instructions) are fine:
+// Dijkstra only requires non-negative weights.
+func (m *metric) relax(g *fnGraph, d []int64, pq *pqueue) {
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(pqItem)
 		if it.d > d[it.i] {
 			continue // stale entry
 		}
 		for _, p := range g.preds[it.i] {
-			nd := add(c.stepWeight(g.instr[p]), it.d)
+			nd := add(m.stepWeight(g.instr[p]), it.d)
 			if nd < d[p] {
 				d[p] = nd
 				heap.Push(pq, pqItem{p, nd})
@@ -305,19 +369,19 @@ func (c *Calculator) relax(g *fnGraph, d []int64, pq *pqueue) {
 }
 
 // tables returns (building if necessary) the memoized tables for goal.
-func (c *Calculator) tables(goal mir.Loc) *goalTables {
-	c.mu.RLock()
-	gt := c.goals[goal]
-	c.mu.RUnlock()
+func (m *metric) tables(goal mir.Loc) *goalTables {
+	m.mu.RLock()
+	gt := m.goals[goal]
+	m.mu.RUnlock()
 	if gt == nil {
-		c.mu.Lock()
-		if gt = c.goals[goal]; gt == nil {
+		m.mu.Lock()
+		if gt = m.goals[goal]; gt == nil {
 			gt = &goalTables{}
-			c.goals[goal] = gt
+			m.goals[goal] = gt
 		}
-		c.mu.Unlock()
+		m.mu.Unlock()
 	}
-	gt.once.Do(func() { c.computeGoal(goal, gt) })
+	gt.once.Do(func() { m.computeGoal(goal, gt) })
 	return gt
 }
 
@@ -327,27 +391,27 @@ func (c *Calculator) tables(goal mir.Loc) *goalTables {
 // entry-to-goal costs of its callees. Entry costs only decrease, so the
 // loop terminates; the final round runs with converged entries, leaving
 // every stored table consistent.
-func (c *Calculator) computeGoal(goal mir.Loc, gt *goalTables) {
+func (m *metric) computeGoal(goal mir.Loc, gt *goalTables) {
 	gt.toGoal = map[string][]int64{}
-	g := c.fns[goal.Fn]
+	g := m.c.fns[goal.Fn]
 	if g == nil {
 		return // unknown goal: every query will answer Infinite
 	}
 	if _, ok := g.flat(goal); !ok {
 		return
 	}
-	reach := c.cg.Reachers(goal.Fn)
+	reach := m.c.cg.Reachers(goal.Fn)
 	entry := make(map[string]int64, len(reach))
 	for fn := range reach {
 		entry[fn] = Infinite
 	}
 	for changed := true; changed; {
 		changed = false
-		for _, name := range c.prog.Order {
+		for _, name := range m.c.prog.Order {
 			if !reach[name] {
 				continue
 			}
-			tg := c.intraToGoal(c.fns[name], name, goal, entry)
+			tg := m.intraToGoal(m.c.fns[name], name, goal, entry)
 			if len(tg) > 0 && tg[0] < entry[name] {
 				entry[name] = tg[0]
 				changed = true
@@ -360,7 +424,7 @@ func (c *Calculator) computeGoal(goal mir.Loc, gt *goalTables) {
 // intraToGoal computes the cheapest cost from every instruction of fn to
 // the goal: either a local CFG path (stepping over calls at through cost),
 // or entering a call/spawn whose target can reach the goal.
-func (c *Calculator) intraToGoal(g *fnGraph, name string, goal mir.Loc, entry map[string]int64) []int64 {
+func (m *metric) intraToGoal(g *fnGraph, name string, goal mir.Loc, entry map[string]int64) []int64 {
 	d := newDistArray(len(g.instr))
 	var pq pqueue
 	if name == goal.Fn {
@@ -373,31 +437,31 @@ func (c *Calculator) intraToGoal(g *fnGraph, name string, goal mir.Loc, entry ma
 		if in.Op != mir.Call && in.Op != mir.ThreadCreate {
 			continue
 		}
-		for _, t := range c.cg.Targets(in) {
+		for _, t := range m.c.cg.Targets(in) {
 			if e, ok := entry[t]; ok && e < Infinite {
-				if nd := add(1, e); nd < d[i] {
+				// Entering costs the call/spawn instruction itself plus the
+				// callee's entry-to-goal cost.
+				if nd := add(m.base(in.Op), e); nd < d[i] {
 					d[i] = nd
 					heap.Push(&pq, pqItem{i, nd})
 				}
 			}
 		}
 	}
-	c.relax(g, d, &pq)
+	m.relax(g, d, &pq)
 	return d
 }
 
-// StateDistance is Algorithm 1: the cheapest static cost for a thread with
-// the given call stack (outermost frame first, each frame's Loc naming the
-// next instruction it will execute) to reach goal. It returns 0 when the
-// innermost frame is already at the goal and Infinite when no CFG path
-// exists.
-func (c *Calculator) StateDistance(stack []mir.Loc, goal mir.Loc) int64 {
-	gt := c.tables(goal)
+// stateDistance is Algorithm 1 for one metric: the cheapest static cost
+// for a thread with the given call stack (outermost frame first, each
+// frame's Loc naming the next instruction it will execute) to reach goal.
+func (m *metric) stateDistance(stack []mir.Loc, goal mir.Loc) int64 {
+	gt := m.tables(goal)
 	best := Infinite
 	var unwind int64 // cost of returning out of every frame below the current one
 	for k := len(stack) - 1; k >= 0; k-- {
 		loc := stack[k]
-		g := c.fns[loc.Fn]
+		g := m.c.fns[loc.Fn]
 		if g == nil {
 			break
 		}
@@ -410,7 +474,7 @@ func (c *Calculator) StateDistance(stack []mir.Loc, goal mir.Loc) int64 {
 				best = d
 			}
 		}
-		unwind = add(unwind, g.retDist[i])
+		unwind = add(unwind, m.retDist[loc.Fn][i])
 		if unwind >= Infinite {
 			break // this frame can never return: outer frames are unreachable
 		}
@@ -418,19 +482,72 @@ func (c *Calculator) StateDistance(stack []mir.Loc, goal mir.Loc) int64 {
 	return best
 }
 
-// Through returns the cheapest entry-to-return cost of fn (Infinite when
-// fn cannot return or does not exist). Exposed for diagnostics and tests.
+// cachedGoals reports how many goals have memoized tables.
+func (m *metric) cachedGoals() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.goals)
+}
+
+// StateDistance is Algorithm 1 under the instruction metric: the cheapest
+// static number of instructions a thread with the given call stack must
+// execute to reach goal. It returns 0 when the innermost frame is already
+// at the goal and Infinite when no CFG path exists.
+func (c *Calculator) StateDistance(stack []mir.Loc, goal mir.Loc) int64 {
+	return c.steps.stateDistance(stack, goal)
+}
+
+// SyncDistance is Algorithm 1 under the synchronization metric (§4.1): the
+// smallest number of synchronization operations (lock/unlock/wait/signal/
+// create/join/yield) on any static path from the thread's current state to
+// goal. It is 0 when the goal is reachable without passing another sync
+// point (the thread is "scheduling-adjacent" to its goal lock site) and
+// Infinite when no CFG path exists. SyncDistance never exceeds
+// StateDistance: sync operations are a subset of instructions.
+func (c *Calculator) SyncDistance(stack []mir.Loc, goal mir.Loc) int64 {
+	return c.syncMetric().stateDistance(stack, goal)
+}
+
+// HasSync reports whether the program contains any synchronization opcode.
+// Searches over sync-free (hence single-threaded) programs can skip the
+// schedule-distance component: it is zero along every feasible path.
+func (c *Calculator) HasSync() bool { return c.hasSync }
+
+// Through returns the cheapest entry-to-return instruction cost of fn
+// (Infinite when fn cannot return or does not exist). Exposed for
+// diagnostics and tests.
 func (c *Calculator) Through(fn string) int64 {
-	if th, ok := c.through[fn]; ok {
+	if th, ok := c.steps.through[fn]; ok {
 		return th
 	}
 	return Infinite
 }
 
-// DistToReturn returns the cheapest cost from loc through a return of its
-// function, the Ret included (Infinite when none is reachable).
+// SyncThrough returns the smallest number of sync operations on any
+// entry-to-return path of fn (Infinite when fn cannot return or does not
+// exist).
+func (c *Calculator) SyncThrough(fn string) int64 {
+	if th, ok := c.syncMetric().through[fn]; ok {
+		return th
+	}
+	return Infinite
+}
+
+// DistToReturn returns the cheapest instruction cost from loc through a
+// return of its function, the Ret included (Infinite when none is
+// reachable).
 func (c *Calculator) DistToReturn(loc mir.Loc) int64 {
-	g := c.fns[loc.Fn]
+	return metricDistToReturn(c.steps, loc)
+}
+
+// SyncDistToReturn returns the smallest number of sync operations from loc
+// through a return of its function (Infinite when none is reachable).
+func (c *Calculator) SyncDistToReturn(loc mir.Loc) int64 {
+	return metricDistToReturn(c.syncMetric(), loc)
+}
+
+func metricDistToReturn(m *metric, loc mir.Loc) int64 {
+	g := m.c.fns[loc.Fn]
 	if g == nil {
 		return Infinite
 	}
@@ -438,14 +555,21 @@ func (c *Calculator) DistToReturn(loc mir.Loc) int64 {
 	if !ok {
 		return Infinite
 	}
-	return g.retDist[i]
+	return m.retDist[loc.Fn][i]
 }
 
-// CachedGoals reports how many goals have memoized tables (diagnostics).
-func (c *Calculator) CachedGoals() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.goals)
+// CachedGoals reports how many goals have memoized instruction-metric
+// tables (diagnostics).
+func (c *Calculator) CachedGoals() int { return c.steps.cachedGoals() }
+
+// CachedSyncGoals reports how many goals have memoized sync-metric tables
+// (diagnostics; 0 when the metric was never queried). It observes the
+// lazy metric without building it.
+func (c *Calculator) CachedSyncGoals() int {
+	if m := c.syncM.Load(); m != nil {
+		return m.cachedGoals()
+	}
+	return 0
 }
 
 func newDistArray(n int) []int64 {

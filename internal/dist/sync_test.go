@@ -1,0 +1,376 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"esd/internal/lang"
+	"esd/internal/mir"
+)
+
+// --- Unit tests for the sync-operation metric ------------------------------
+
+// buildSyncFixture is a hand-built two-lock program:
+//
+//	func helper():  b0: gaddr m; lock; const; unlock; ret
+//	func main():    b0: const; call helper; gaddr m; lock; jmp b1
+//	                b1: unlock; ret
+func buildSyncFixture() *mir.Program {
+	p := mir.NewProgram("syncfix")
+	p.AddGlobal(&mir.Global{Name: "m", Size: 2})
+
+	b := mir.NewFuncBuilder("helper")
+	r := b.EmitGlobalAddr("m")
+	b.Emit(&mir.Instr{Op: mir.MutexLock, Dst: -1, A: mir.R(r)})
+	b.EmitConst(1)
+	b.Emit(&mir.Instr{Op: mir.MutexUnlock, Dst: -1, A: mir.R(r)})
+	b.EmitRet(mir.I(0))
+	p.AddFunc(b.F)
+
+	b = mir.NewFuncBuilder("main")
+	b.EmitConst(7)
+	b.EmitCall("helper")
+	r = b.EmitGlobalAddr("m")
+	b.Emit(&mir.Instr{Op: mir.MutexLock, Dst: -1, A: mir.R(r)})
+	entry := b.Current()
+	exit := b.NewBlock("exit")
+	b.SetBlock(entry)
+	b.EmitJmp(exit)
+	b.SetBlock(exit)
+	b.Emit(&mir.Instr{Op: mir.MutexUnlock, Dst: -1, A: mir.R(r)})
+	b.EmitRet(mir.I(0))
+	p.AddFunc(b.F)
+
+	if err := p.Verify(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestSyncDistanceCountsOnlySyncOps(t *testing.T) {
+	c := NewCalculator(buildSyncFixture())
+	if !c.HasSync() {
+		t.Fatal("fixture has sync ops")
+	}
+	// Goal: main's own lock (b0.3). From main entry the path executes the
+	// const (free), enters helper (free) — no: the cheapest path steps OVER
+	// the call, which costs helper's sync through (lock+unlock = 2)... or
+	// enters and unwinds at the same price. Either way: 2 sync ops.
+	goal := loc("main", 0, 3)
+	if got := c.SyncDistance([]mir.Loc{loc("main", 0, 0)}, goal); got != 2 {
+		t.Errorf("sync distance main entry -> own lock = %d, want 2", got)
+	}
+	// Goal: helper's lock. Entering the call is free, so only the const
+	// before it costs nothing: 0 sync ops.
+	if got := c.SyncDistance([]mir.Loc{loc("main", 0, 0)}, loc("helper", 0, 1)); got != 0 {
+		t.Errorf("sync distance main entry -> helper lock = %d, want 0", got)
+	}
+	// Through costs: helper executes lock+unlock on every return path.
+	if got := c.SyncThrough("helper"); got != 2 {
+		t.Errorf("syncThrough(helper) = %d, want 2", got)
+	}
+	if got := c.SyncThrough("main"); got != 4 {
+		t.Errorf("syncThrough(main) = %d, want 4", got)
+	}
+	// Return distances under the sync metric.
+	if got := c.SyncDistToReturn(loc("helper", 0, 2)); got != 1 {
+		t.Errorf("syncDistToReturn(helper after lock) = %d, want 1 (the unlock)", got)
+	}
+	// Past the goal with no loop back: unreachable.
+	if got := c.SyncDistance([]mir.Loc{loc("main", 1, 0)}, loc("main", 0, 3)); got != Infinite {
+		t.Errorf("backward sync distance = %d, want Infinite", got)
+	}
+}
+
+func TestSyncDistanceNeverExceedsStateDistance(t *testing.T) {
+	for _, ps := range propertySources {
+		prog := lang.MustCompile(ps.name+".c", ps.src)
+		c := NewCalculator(prog)
+		start := []mir.Loc{{Fn: "main"}}
+		for _, g := range allLocs(prog) {
+			sd := c.SyncDistance(start, g)
+			dd := c.StateDistance(start, g)
+			if sd > dd {
+				t.Fatalf("%s: goal %v: SyncDistance %d > StateDistance %d", ps.name, g, sd, dd)
+			}
+		}
+	}
+}
+
+func TestSyncDistanceZeroWithoutSyncOps(t *testing.T) {
+	// Single-threaded lock-free programs: every reachable goal is 0 sync
+	// ops away, every unreachable one Infinite; HasSync is false.
+	prog := lang.MustCompile("seq.c", propertySources[0].src)
+	c := NewCalculator(prog)
+	if c.HasSync() {
+		t.Fatal("sequential fixture reports sync ops")
+	}
+	start := []mir.Loc{{Fn: "main"}}
+	for _, g := range allLocs(prog) {
+		sd := c.SyncDistance(start, g)
+		dd := c.StateDistance(start, g)
+		if dd < Infinite && sd != 0 {
+			t.Fatalf("reachable goal %v has sync distance %d", g, sd)
+		}
+		if dd >= Infinite && sd < Infinite {
+			t.Fatalf("unreachable goal %v has finite sync distance %d", g, sd)
+		}
+	}
+}
+
+// --- Property test: SyncDistance == weighted BFS over the sync-point graph --
+
+// genProgram builds a random MIR program: a DAG of functions whose blocks
+// mix sync operations (lock/unlock/yield/spawn/join on a shared mutex
+// global) with free instructions, ending in random branches, jumps and
+// returns. Call targets are always earlier functions, so configuration
+// stacks stay bounded without a depth cap.
+func genProgram(rng *rand.Rand) *mir.Program {
+	p := mir.NewProgram(fmt.Sprintf("rand%d", rng.Int63()))
+	p.AddGlobal(&mir.Global{Name: "m", Size: 4})
+	nFns := 2 + rng.Intn(3)
+	var names []string
+	for i := 0; i <= nFns; i++ {
+		name := fmt.Sprintf("f%d", i)
+		if i == nFns {
+			name = "main"
+		}
+		b := mir.NewFuncBuilder(name)
+		nBlocks := 1 + rng.Intn(3)
+		blocks := []*mir.Block{b.Current()}
+		for j := 1; j < nBlocks; j++ {
+			blocks = append(blocks, b.NewBlock(fmt.Sprintf("b%d", j)))
+		}
+		for _, blk := range blocks {
+			b.SetBlock(blk)
+			for n := rng.Intn(3); n > 0; n-- {
+				switch rng.Intn(6) {
+				case 0:
+					b.EmitConst(int64(rng.Intn(100)))
+				case 1:
+					r := b.EmitGlobalAddr("m")
+					b.Emit(&mir.Instr{Op: mir.MutexLock, Dst: -1, A: mir.R(r)})
+				case 2:
+					r := b.EmitGlobalAddr("m")
+					b.Emit(&mir.Instr{Op: mir.MutexUnlock, Dst: -1, A: mir.R(r)})
+				case 3:
+					b.Emit(&mir.Instr{Op: mir.Yield, Dst: -1})
+				case 4:
+					if len(names) > 0 {
+						b.EmitCall(names[rng.Intn(len(names))])
+					} else {
+						b.EmitConst(0)
+					}
+				case 5:
+					if len(names) > 0 {
+						d := b.NewReg()
+						b.Emit(&mir.Instr{Op: mir.ThreadCreate, Dst: d,
+							Sym: names[rng.Intn(len(names))], A: mir.I(0)})
+					} else {
+						b.Emit(&mir.Instr{Op: mir.Yield, Dst: -1})
+					}
+				}
+			}
+			switch rng.Intn(4) {
+			case 0, 1:
+				b.EmitRet(mir.I(0))
+			case 2:
+				b.EmitJmp(blocks[rng.Intn(len(blocks))])
+			case 3:
+				c := b.EmitConst(1)
+				b.EmitBr(mir.R(c), blocks[rng.Intn(len(blocks))], blocks[rng.Intn(len(blocks))])
+			}
+		}
+		p.AddFunc(b.F)
+		names = append(names, name)
+	}
+	if err := p.Verify(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// syncSuccs enumerates the successor configurations of a data-free stack
+// walk, each tagged with its sync cost: 1 when the executed instruction is
+// a synchronization operation, 0 otherwise. ThreadCreate offers both the
+// spawner's continuation and the spawned body as a fresh stack (the spawn
+// counts as the executing thread's sync op in both; mirrors the metric's
+// spawn-as-entry rule).
+func syncSuccs(p *mir.Program, stack []mir.Loc) [][2]interface{} {
+	top := stack[len(stack)-1]
+	in := p.InstrAt(top)
+	if in == nil {
+		return nil
+	}
+	base := append([]mir.Loc(nil), stack[:len(stack)-1]...)
+	cost := int64(0)
+	if in.Op.IsSync() {
+		cost = 1
+	}
+	push := func(s []mir.Loc, l mir.Loc) []mir.Loc {
+		return append(append([]mir.Loc(nil), s...), l)
+	}
+	var out [][2]interface{}
+	add := func(s []mir.Loc) { out = append(out, [2]interface{}{s, cost}) }
+	switch in.Op {
+	case mir.Br:
+		add(push(base, mir.Loc{Fn: top.Fn, Block: in.Then}))
+		add(push(base, mir.Loc{Fn: top.Fn, Block: in.Else}))
+	case mir.Jmp:
+		add(push(base, mir.Loc{Fn: top.Fn, Block: in.Then}))
+	case mir.Ret:
+		if len(stack) > 1 {
+			add(base)
+		}
+	case mir.Abort:
+	case mir.Call:
+		if in.Sym != "" {
+			resumed := push(base, mir.Loc{Fn: top.Fn, Block: top.Block, Index: top.Index + 1})
+			add(push(resumed, mir.Loc{Fn: in.Sym}))
+		}
+	case mir.ThreadCreate:
+		add(push(base, mir.Loc{Fn: top.Fn, Block: top.Block, Index: top.Index + 1}))
+		add([]mir.Loc{{Fn: in.Sym}})
+	default:
+		add(push(base, mir.Loc{Fn: top.Fn, Block: top.Block, Index: top.Index + 1}))
+	}
+	return out
+}
+
+func cfgKey(s []mir.Loc) string {
+	var b strings.Builder
+	for _, l := range s {
+		fmt.Fprintf(&b, "%s/%d/%d;", l.Fn, l.Block, l.Index)
+	}
+	return b.String()
+}
+
+// syncOracle is the executable specification of SyncDistance: Dijkstra
+// over the configuration graph with 0/1 edge weights (a 0-1 BFS deque).
+func syncOracle(p *mir.Program, start []mir.Loc, goal mir.Loc) int64 {
+	type node struct {
+		stack []mir.Loc
+		d     int64
+	}
+	dist := map[string]int64{cfgKey(start): 0}
+	deque := []node{{stack: start, d: 0}}
+	for len(deque) > 0 {
+		cur := deque[0]
+		deque = deque[1:]
+		k := cfgKey(cur.stack)
+		if cur.d > dist[k] {
+			continue
+		}
+		if cur.stack[len(cur.stack)-1] == goal {
+			return cur.d
+		}
+		for _, sc := range syncSuccs(p, cur.stack) {
+			s := sc[0].([]mir.Loc)
+			nd := cur.d + sc[1].(int64)
+			sk := cfgKey(s)
+			if old, ok := dist[sk]; !ok || nd < old {
+				dist[sk] = nd
+				if nd == cur.d {
+					deque = append([]node{{stack: s, d: nd}}, deque...)
+				} else {
+					deque = append(deque, node{stack: s, d: nd})
+				}
+			}
+		}
+	}
+	return Infinite
+}
+
+// syncConfigs gathers up to limit reachable configurations to query from.
+func syncConfigs(p *mir.Program, start []mir.Loc, limit int) [][]mir.Loc {
+	var out [][]mir.Loc
+	seen := map[string]bool{cfgKey(start): true}
+	queue := [][]mir.Loc{start}
+	for len(queue) > 0 && len(out) < limit {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, sc := range syncSuccs(p, cur) {
+			s := sc[0].([]mir.Loc)
+			if k := cfgKey(s); !seen[k] {
+				seen[k] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return out
+}
+
+func TestSyncDistanceMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			prog := genProgram(rng)
+			c := NewCalculator(prog)
+			goals := allLocs(prog)
+			start := []mir.Loc{{Fn: "main"}}
+			for _, cfg := range syncConfigs(prog, start, 25) {
+				for _, g := range goals {
+					want := syncOracle(prog, cfg, g)
+					got := c.SyncDistance(cfg, g)
+					if got != want {
+						t.Fatalf("stack %v goal %v: SyncDistance=%d oracle=%d\n%s",
+							cfg, g, got, want, prog)
+					}
+					if dd := c.StateDistance(cfg, g); got > dd {
+						t.Fatalf("stack %v goal %v: SyncDistance %d > StateDistance %d",
+							cfg, g, got, dd)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSyncDistance measures the schedule-distance hot path the same
+// way BenchmarkStateDistance covers the data-distance one: "cached" is the
+// steady-state memoized lookup the search performs at every insertion;
+// "cold" includes the per-goal table construction a fresh goal pays once.
+func BenchmarkSyncDistance(b *testing.B) {
+	var src strings.Builder
+	src.WriteString("int m;\n")
+	src.WriteString("int f0(int v) { lock(&m); v = v + 1; unlock(&m); return v; }\n")
+	for i := 1; i < 40; i++ {
+		fmt.Fprintf(&src, "int f%d(int v) { if (v > %d) { lock(&m); v = f%d(v) + 2; unlock(&m); return v; } return f%d(v + 1); }\n",
+			i, i, i-1, i-1)
+	}
+	src.WriteString("int main() { int x = input(\"x\"); return f39(x); }\n")
+	prog := lang.MustCompile("bench.c", src.String())
+	goal := mir.Loc{Fn: "f0", Block: 0, Index: 0}
+	stack := []mir.Loc{
+		{Fn: "main", Block: 0, Index: 2},
+		{Fn: "f39", Block: 1, Index: 0},
+		{Fn: "f38", Block: 1, Index: 0},
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		c := NewCalculator(prog)
+		if d := c.SyncDistance(stack, goal); d >= Infinite {
+			b.Fatalf("bench stack unexpectedly infinite: %d", d)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.SyncDistance(stack, goal)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh Calculator pays the summary layer and the first
+			// per-goal table build.
+			c := NewCalculator(prog)
+			if d := c.SyncDistance(stack, goal); d >= Infinite {
+				b.Fatalf("bench stack unexpectedly infinite: %d", d)
+			}
+		}
+	})
+}

@@ -266,6 +266,11 @@ func Ablation(appName string, cfg Config) ([]AblationRow, error) {
 		{"no proximity", search.Options{NoProximity: true}},
 		{"no intermediate goals", search.Options{NoIntermediateGoals: true}},
 		{"no critical-edge pruning", search.Options{NoCriticalEdges: true}},
+		// The §4.1 schedule-distance ablation: collapse the graded
+		// sync-distance metric back to the original near/far bit (and the
+		// policies back to exact goal-site matching). On sequential apps
+		// this ties full ESD; on deadlocks it shows what the gradation buys.
+		{"binary sched-distance", search.Options{BinarySchedDist: true}},
 		{"all disabled", search.Options{NoProximity: true, NoIntermediateGoals: true, NoCriticalEdges: true}},
 	}
 	var rows []AblationRow

@@ -68,8 +68,8 @@ func TestAblationRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("ablation rows = %d, want 5", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("ablation rows = %d, want 6", len(rows))
 	}
 	if !rows[0].Outcome.Found {
 		t.Error("full ESD must find listing1")

@@ -5,15 +5,20 @@
 //
 //   - DeadlockPolicy implements §4.1: snapshot states K_S taken before
 //     every mutex acquisition, inner/outer-lock driven snapshot activation
-//     and preemption, and the near/far schedule-distance bias.
+//     and preemption, and the graded schedule-distance scoring (how many
+//     sync operations separate a state from its goal lock sites).
 //   - RacePolicy implements §4.2: preemption forking before accesses the
-//     race detector flags, gated by the common-stack-prefix heuristic.
+//     race detector flags, gated by the common-stack-prefix heuristic and
+//     ranked by each alternative thread's sync distance to the fault site.
 //   - BoundedPolicy implements the Chess-style preemption bounding the KC
 //     baseline uses (§7.2): fork every scheduling alternative at sync
 //     points, up to a preemption budget.
 package sched
 
 import (
+	"sort"
+
+	"esd/internal/dist"
 	"esd/internal/mir"
 	"esd/internal/symex"
 )
@@ -24,19 +29,46 @@ type DeadlockPolicy struct {
 	// statements the deadlocked threads were blocked on (§4.1).
 	Goals []mir.Loc
 
+	// Dist supplies the graded sync-distance metric (§4.1) used to score
+	// rolled-back states, widen inner-lock detection, and rank preemption
+	// targets. When nil the policy degrades to its pre-graded behavior
+	// (exact goal-site matching, round-robin preemption, sentinel-only
+	// scoring).
+	Dist *dist.Calculator
+
+	// ActivationRadius is the graded widening of the inner-lock test: a
+	// mutex counts as "acquired near the holder's inner lock" when its
+	// acquisition site is at most this many sync operations away from a
+	// goal. Radius 0 is the paper's exact-site test, which only fires when
+	// outer and inner acquisitions share code (sqlite's recursive-mutex
+	// shim); small positive radii also catch outer locks taken just before
+	// a call into the inner-lock function (hawknl, the pipeline ring).
+	// 0 means the default (2); negative forces the exact-site test.
+	ActivationRadius int
+
 	// MaxRollbacks bounds snapshot activations per state lineage. Without
 	// a bound, a single contended mutex whose acquisition site is a goal
 	// can roll back forever (each rollback recreates the symmetric
 	// situation); real deadlocks need only a handful. 0 means the default.
 	MaxRollbacks int
 
+	// MaxEagerForks bounds eager pre-acquisition forks per state lineage.
+	// An N-party deadlock needs about N threads to defer an acquisition,
+	// so the default is len(Goals)+1; anything looser lets two contending
+	// threads regenerate each other's alternatives combinatorially.
+	MaxEagerForks int
+
 	// Stats
 	SnapshotsTaken     int
 	SnapshotsActivated int
+	EagerForks         int
 	Preemptions        int
 }
 
-const defaultMaxRollbacks = 64
+const (
+	defaultMaxRollbacks     = 64
+	defaultActivationRadius = 2
+)
 
 var _ symex.Policy = (*DeadlockPolicy)(nil)
 
@@ -49,6 +81,43 @@ func (p *DeadlockPolicy) isGoalSite(loc mir.Loc) bool {
 	return false
 }
 
+// radius resolves the effective activation radius.
+func (p *DeadlockPolicy) radius() int64 {
+	if p.Dist == nil || p.ActivationRadius < 0 {
+		return 0
+	}
+	if p.ActivationRadius > 0 {
+		return int64(p.ActivationRadius)
+	}
+	return defaultActivationRadius
+}
+
+// goalSyncDist is the graded inner-lock test: the smallest number of sync
+// operations between loc and a goal lock site (0 when loc is itself a
+// goal). A thread that acquired a mutex at a site with a small value
+// plausibly holds an outer lock of the deadlock.
+func (p *DeadlockPolicy) goalSyncDist(loc mir.Loc) int64 {
+	if p.isGoalSite(loc) {
+		return 0
+	}
+	return minSyncDist(p.Dist, []mir.Loc{loc}, p.Goals)
+}
+
+// minSyncDist is the smallest §4.1 sync-operation distance from stack to
+// any goal under calc (Infinite without a metric, goals, or a match).
+func minSyncDist(calc *dist.Calculator, stack []mir.Loc, goals []mir.Loc) int64 {
+	if calc == nil {
+		return dist.Infinite
+	}
+	best := dist.Infinite
+	for _, g := range goals {
+		if d := calc.SyncDistance(stack, g); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
 // BeforeSync implements the §4.1 algorithm at mutex-acquisition sites.
 func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
 	if in.Op != mir.MutexLock {
@@ -57,6 +126,10 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 	key, ok := e.MutexKeyFor(st, in)
 	if !ok {
 		return nil
+	}
+	limit := p.MaxRollbacks
+	if limit == 0 {
+		limit = defaultMaxRollbacks
 	}
 	m := st.Mutexes[key]
 	if m == nil || m.Holder == -1 {
@@ -68,29 +141,49 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 			p.preemptCurrent(snap)
 			st.Snapshots[key] = snap
 			p.SnapshotsTaken++
+			// Graded eager exploration: acquiring a lock within the
+			// activation radius of a goal is a §4.1 decision point — the
+			// deadlock may need this thread to hold off while the other
+			// parties take their outer locks first. Multi-party circular
+			// waits (three or more threads) are built exclusively from
+			// these alternatives: no single rollback reconstructs them.
+			// The fork enters the search scored by the site's graded
+			// distance, so nearer decision points are explored first.
+			eagerLimit := p.MaxEagerForks
+			if eagerLimit == 0 {
+				eagerLimit = len(p.Goals) + 1
+			}
+			if d := p.goalSyncDist(st.Loc()); p.Dist != nil && d <= p.radius() &&
+				st.Preemptions < limit && st.EagerForks < eagerLimit {
+				alt := e.ForkState(snap)
+				alt.SchedDist = d
+				alt.Preemptions = st.Preemptions + 1
+				alt.EagerForks = st.EagerForks + 1
+				p.EagerForks++
+				return []*symex.State{alt}
+			}
 		}
 		return nil
 	}
-	// M is held by another thread T2 (or self). If M was acquired as T2's
-	// inner lock — the very lock site T2's goal names — then M could be the
-	// current thread's outer lock: activate the snapshot taken before T2
-	// acquired M, giving the current thread a chance to get M first.
-	limit := p.MaxRollbacks
-	if limit == 0 {
-		limit = defaultMaxRollbacks
-	}
-	if (p.isGoalSite(m.AcqLoc) || m.Holder == st.Cur) && st.Preemptions < limit {
+	// M is held by another thread T2 (or self). If M was acquired at (or
+	// within ActivationRadius sync operations of) T2's inner lock — the
+	// site T2's goal names — then M could be the current thread's outer
+	// lock: activate the snapshot taken before T2 acquired M, giving the
+	// current thread a chance to get M first.
+	if (p.goalSyncDist(m.AcqLoc) <= p.radius() || m.Holder == st.Cur) && st.Preemptions < limit {
 		if snap, has := st.Snapshots[key]; has && snap != nil {
 			delete(st.Snapshots, key)
 			// Activate a fork of the snapshot: sibling states may share the
 			// stored snapshot pointer through copied K_S maps, and a state
 			// must enter the search queue at most once.
 			act := e.ForkState(snap)
-			// Bias: the activated snapshot is near the deadlock; the
-			// blocked current state is deprioritized (§4.1).
-			act.SchedDist = symex.SchedNear
+			// Graded §4.1 scoring: the activated snapshot sits exactly on
+			// the deadlock schedule (distance 0); the blocked current state
+			// is on the wrong side of the rollback and is demoted behind
+			// every state with a real sync-distance estimate.
+			act.SchedDist = 0
 			act.Preemptions = st.Preemptions + 1
-			st.SchedDist = symex.SchedFar
+			st.SchedDist = symex.SchedDistFar
 			p.SnapshotsActivated++
 			return []*symex.State{act}
 		}
@@ -99,8 +192,11 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 }
 
 // AfterSync preempts a thread right after it acquires its inner (goal)
-// lock — keeping the lock held so another thread can come ask for it — and
-// maintains the K_S map: snapshots die when their mutex is unlocked.
+// lock or a lock within the activation radius of one — keeping the lock
+// held so another thread can come ask for it — and maintains the K_S map:
+// snapshots die when their mutex is unlocked. The state's graded schedule
+// distance is the acquisition site's sync distance to the goals: 0 for an
+// inner lock held, small for an outer lock held just before it.
 func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
 	switch in.Op {
 	case mir.MutexUnlock:
@@ -111,8 +207,8 @@ func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Ins
 		if m == nil || m.Holder != st.Cur {
 			return
 		}
-		if p.isGoalSite(m.AcqLoc) {
-			st.SchedDist = symex.SchedNear
+		if d := p.goalSyncDist(m.AcqLoc); d <= p.radius() {
+			st.SchedDist = d
 			p.preemptCurrent(st)
 		}
 	}
@@ -122,16 +218,40 @@ func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Ins
 func (p *DeadlockPolicy) PickNext(e *symex.Engine, st *symex.State) int { return -1 }
 
 // preemptCurrent context-switches st away from its current thread if
-// another thread can run.
+// another thread can run, preferring the runnable thread the fewest sync
+// operations away from a goal lock site (the graded §4.1 ranking; ties and
+// the no-metric fallback pick the lowest thread ID for determinism).
 func (p *DeadlockPolicy) preemptCurrent(st *symex.State) {
+	best, bestD := -1, dist.Infinite
 	for _, tid := range st.RunnableThreads() {
-		if tid != st.Cur {
-			st.SwitchTo(tid)
-			st.Preemptions++
-			p.Preemptions++
-			return
+		if tid == st.Cur {
+			continue
+		}
+		d := p.threadSyncDist(st, tid)
+		if best == -1 || d < bestD {
+			best, bestD = tid, d
 		}
 	}
+	if best >= 0 {
+		st.SwitchTo(best)
+		st.Preemptions++
+		p.Preemptions++
+	}
+}
+
+// threadSyncDist is the graded schedule distance of one thread: the
+// minimum over goals of the sync-operation count to reach the goal from
+// the thread's current stack. Zero (everything equally good) without a
+// metric.
+func (p *DeadlockPolicy) threadSyncDist(st *symex.State, tid int) int64 {
+	if p.Dist == nil {
+		return 0
+	}
+	t := st.Thread(tid)
+	if t == nil || len(t.Frames) == 0 {
+		return dist.Infinite
+	}
+	return minSyncDist(p.Dist, t.Stack(), p.Goals)
 }
 
 // RacePolicy forks thread schedules before potentially racing accesses
@@ -141,6 +261,14 @@ type RacePolicy struct {
 	// forking is enabled only once every live thread's stack contains it
 	// (§4.2). Empty means always enabled.
 	Prefix []mir.Loc
+
+	// Goals are the reported fault sites; together with Dist they rank the
+	// forked preemption alternatives so the thread closest (in sync
+	// operations) to the fault is scheduled first.
+	Goals []mir.Loc
+	// Dist supplies the graded sync-distance metric. Nil disables ranking
+	// (forks are created in thread-ID order).
+	Dist *dist.Calculator
 
 	// MaxForkedPreemptions bounds forked schedule alternatives per state
 	// lineage to keep the space in check.
@@ -175,7 +303,10 @@ func (p *RacePolicy) prefixReached(st *symex.State) bool {
 
 // BeforeSync forks one state per alternative runnable thread, preempting
 // the current thread before the flagged access or synchronization
-// operation (§4.2 places preemptions at both).
+// operation (§4.2 places preemptions at both). Alternatives are created in
+// order of increasing sync distance to the fault site, so the most
+// promising preemption gets the lowest state ID (the search's tie-break)
+// and round-robin reaches it first.
 func (p *RacePolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
 	if !p.prefixReached(st) {
 		return nil
@@ -187,18 +318,40 @@ func (p *RacePolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr)
 	if st.Preemptions >= max {
 		return nil
 	}
-	var out []*symex.State
+	type cand struct {
+		tid int
+		d   int64
+	}
+	var cands []cand
 	for _, tid := range st.RunnableThreads() {
 		if tid == st.Cur {
 			continue
 		}
+		cands = append(cands, cand{tid, p.threadSyncDist(st, tid)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	var out []*symex.State
+	for _, c := range cands {
 		fork := e.ForkState(st)
-		fork.SwitchTo(tid)
+		fork.SwitchTo(c.tid)
 		fork.Preemptions++
 		p.Preemptions++
 		out = append(out, fork)
 	}
 	return out
+}
+
+// threadSyncDist is the graded §4.1 metric applied to the §4.2 goals: the
+// sync-operation count from thread tid's stack to the nearest fault site.
+func (p *RacePolicy) threadSyncDist(st *symex.State, tid int) int64 {
+	if p.Dist == nil || len(p.Goals) == 0 {
+		return 0
+	}
+	t := st.Thread(tid)
+	if t == nil || len(t.Frames) == 0 {
+		return dist.Infinite
+	}
+	return minSyncDist(p.Dist, t.Stack(), p.Goals)
 }
 
 // AfterSync is a no-op for races.

@@ -3,6 +3,7 @@ package sched
 import (
 	"testing"
 
+	"esd/internal/dist"
 	"esd/internal/lang"
 	"esd/internal/mir"
 	"esd/internal/solver"
@@ -100,6 +101,89 @@ func TestDeadlockPolicyFindsABBA(t *testing.T) {
 	}
 	if p.SnapshotsTaken == 0 {
 		t.Error("policy never snapshotted (K_S unused)")
+	}
+}
+
+// abbaDeep is the abba inversion with each lock buried in a helper: the
+// outer acquisitions happen at non-goal sites, so the exact-site §4.1 test
+// never recognizes a held outer lock — only the graded sync-distance
+// widening (outer sites are 1 sync op from the inner goals) does.
+const abbaDeep = `
+int a;
+int b;
+int take_b() { lock(&b); return 0; }
+int drop_b() { unlock(&b); return 0; }
+int take_a() { lock(&a); return 0; }
+int drop_a() { unlock(&a); return 0; }
+int t1fn(int x) {
+	lock(&a);
+	take_b();
+	drop_b();
+	unlock(&a);
+	return 0;
+}
+int t2fn(int x) {
+	lock(&b);
+	take_a();
+	drop_a();
+	unlock(&b);
+	return 0;
+}
+int main() {
+	int t1 = thread_create(t1fn, 0);
+	int t2 = thread_create(t2fn, 0);
+	thread_join(t1);
+	thread_join(t2);
+	return 0;
+}`
+
+func TestGradedPolicyFindsBuriedABBA(t *testing.T) {
+	prog := lang.MustCompile("t.c", abbaDeep)
+	// The report's goals are the helpers' lock sites only.
+	goals := lockLocs(prog, "take_a", "take_b")
+	if len(goals) != 2 {
+		t.Fatalf("expected 2 inner goals, got %v", goals)
+	}
+	calc := dist.NewCalculator(prog)
+	p := &DeadlockPolicy{Goals: goals, Dist: calc}
+
+	// The graded inner-lock test sees the buried structure: the outer
+	// acquisition sites are 1 sync op from the goals, within the default
+	// activation radius; an unrelated site (the unlock) is not at 0.
+	outer := lockLocs(prog, "t1fn")[0]
+	if d := p.goalSyncDist(outer); d != 1 {
+		t.Errorf("goalSyncDist(outer lock) = %d, want 1", d)
+	}
+	if d := p.goalSyncDist(goals[0]); d != 0 {
+		t.Errorf("goalSyncDist(goal) = %d, want 0", d)
+	}
+	if r := p.radius(); r != defaultActivationRadius {
+		t.Errorf("radius = %d, want default %d", r, defaultActivationRadius)
+	}
+
+	st := explore(t, abbaDeep, p, symex.StateDeadlocked, 500_000)
+	if st == nil {
+		t.Fatalf("buried deadlock not found (snapshots=%d activated=%d eager=%d)",
+			p.SnapshotsTaken, p.SnapshotsActivated, p.EagerForks)
+	}
+	if !st.Deadlock.Cycle {
+		t.Fatalf("expected a cycle deadlock: %v", st.Deadlock)
+	}
+	if p.EagerForks == 0 {
+		t.Error("graded policy never eagerly forked a near-goal acquisition")
+	}
+}
+
+func TestGradedPolicyWithoutMetricFallsBack(t *testing.T) {
+	prog := lang.MustCompile("t.c", abbaDeep)
+	goals := lockLocs(prog, "take_a", "take_b")
+	p := &DeadlockPolicy{Goals: goals} // no Dist: exact-site behavior
+	if r := p.radius(); r != 0 {
+		t.Errorf("radius without a metric = %d, want 0", r)
+	}
+	outer := lockLocs(prog, "t1fn")[0]
+	if d := p.goalSyncDist(outer); d != dist.Infinite {
+		t.Errorf("goalSyncDist without a metric = %d, want Infinite for non-goal sites", d)
 	}
 }
 

@@ -83,6 +83,10 @@ type Options struct {
 	NoProximity         bool
 	NoIntermediateGoals bool // only final goals get queues
 	NoCriticalEdges     bool // disable static pruning
+	// BinarySchedDist collapses the graded §4.1 sync-distance metric back
+	// to the original near/far bit (policy-scored states near, everything
+	// else one undifferentiated far band) — the schedule-distance ablation.
+	BinarySchedDist bool
 }
 
 // Result is the outcome of a synthesis run.
@@ -104,6 +108,13 @@ type Result struct {
 	// OtherBugs are failures found along the way that do not match the
 	// report (recorded and skipped, §4.1).
 	OtherBugs []string
+	// Terminals counts finished states by status (diagnostics: how the
+	// explored space splits into exits, other failures, and abandonments).
+	Terminals map[symex.StateStatus]int64
+	// StepErrors counts states abandoned on engine-level errors.
+	StepErrors int64
+	// Pruned counts states abandoned by the critical-edge/Infinite gates.
+	Pruned int64
 	// RaceFindings are potential races the detector flagged.
 	RaceFindings []race.Finding
 	// IntermediateGoalSets is the number of goal sets the static phase
@@ -143,22 +154,31 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 
 	sol := solver.New()
 	eng := symex.New(prog, sol)
+	calc := dist.ForProgram(cg)
 
 	var detector *race.Detector
 	if opts.WithRaceDetector || rep.Kind == report.KindRace {
 		detector = race.NewDetector()
 		eng.Race = detector
 	}
+	// The policies share the searcher's Calculator: the graded §4.1
+	// sync-distance metric ranks both their scheduling decisions and the
+	// virtual-queue ordering below. The BinarySchedDist ablation withholds
+	// it so the policies fall back to the original near/far behavior.
+	var polCalc *dist.Calculator
+	if !opts.BinarySchedDist {
+		polCalc = calc
+	}
 	switch {
 	case opts.PreemptionBound > 0:
 		eng.Policy = &sched.BoundedPolicy{Limit: opts.PreemptionBound}
 	case rep.Kind == report.KindDeadlock:
-		eng.Policy = &sched.DeadlockPolicy{Goals: goals}
+		eng.Policy = &sched.DeadlockPolicy{Goals: goals, Dist: polCalc}
 	case rep.Kind == report.KindRace || detector != nil:
 		// Race-directed scheduling also serves crash reports when race
 		// detection is enabled (§4.2: detection can be turned on even when
 		// debugging non-race bugs that manifest only under races).
-		eng.Policy = &sched.RacePolicy{Prefix: rep.CommonStackPrefix()}
+		eng.Policy = &sched.RacePolicy{Prefix: rep.CommonStackPrefix(), Goals: goals, Dist: polCalc}
 	}
 
 	// Build the goal queues: one per intermediate goal set, one per final
@@ -175,19 +195,21 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 	}
 
 	s := &searcher{
-		opts:       opts,
-		prog:       prog,
-		rep:        rep,
-		eng:        eng,
-		sol:        sol,
-		analyses:   analyses,
-		calc:       dist.ForProgram(cg),
+		opts:     opts,
+		prog:     prog,
+		rep:      rep,
+		eng:      eng,
+		sol:      sol,
+		analyses: analyses,
+		calc:     calc,
+		schedGuided: calc.HasSync() &&
+			(rep.Kind == report.KindDeadlock || rep.Kind == report.KindRace),
 		queueGoals: queueGoals,
 		finalGoals: goals,
 		rng:        rand.New(rand.NewSource(opts.Seed + 1)),
 	}
 
-	res := &Result{IntermediateGoalSets: nInter}
+	res := &Result{IntermediateGoalSets: nInter, Terminals: map[symex.StateStatus]int64{}}
 	start := time.Now()
 	init, err := eng.InitialState()
 	if err != nil {
@@ -213,16 +235,24 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 }
 
 type searcher struct {
-	opts       Options
-	prog       *mir.Program
-	rep        *report.Report
-	eng        *symex.Engine
-	sol        *solver.Solver
-	analyses   []*cfa.Analysis
-	calc       *dist.Calculator
-	queueGoals [][]mir.Loc
-	finalGoals []mir.Loc
-	rng        *rand.Rand
+	opts     Options
+	prog     *mir.Program
+	rep      *report.Report
+	eng      *symex.Engine
+	sol      *solver.Solver
+	analyses []*cfa.Analysis
+	calc     *dist.Calculator
+	// schedGuided gates the schedule-distance fitness component and the
+	// FIFO aging pick: they apply to schedule-sensitive reports (deadlock,
+	// race) on programs that actually synchronize. A program without sync
+	// opcodes has no schedule to synthesize, and a plain crash search
+	// keeps the pure data-distance ordering (§4.1's weighting is about
+	// schedules, and reordering sequential searches only perturbs their
+	// shedding decisions).
+	schedGuided bool
+	queueGoals  [][]mir.Loc
+	finalGoals  []mir.Loc
+	rng         *rand.Rand
 
 	// pool is the set of live states. For DFS/RandomPath it is used as an
 	// ordered slice; for ESD, states additionally sit in the per-goal
@@ -230,6 +260,14 @@ type searcher struct {
 	pool  []*symex.State
 	alive map[*symex.State]bool
 	heaps []stateHeap
+	// fifo holds live states in insertion order; every agingPeriod-th ESD
+	// pick drains from here instead of the fitness heaps. Pure best-first
+	// livelocks when scheduling policies fork equal-fitness states faster
+	// than lineages terminate (every successor waits behind the whole
+	// band); the aging pick guarantees each state is eventually run, which
+	// is what completes multi-party deadlock lineages.
+	fifo  []*symex.State
+	picks int
 }
 
 type heapEntry struct {
@@ -303,12 +341,21 @@ func (s *searcher) run(init *symex.State, start time.Time, res *Result) (*symex.
 	return nil, false
 }
 
-// insert adds a live state to the pool and every virtual queue.
+// insert adds a live state to the pool and every virtual queue. The
+// schedule-distance component is queue-independent (it measures progress
+// toward the reported bug's full goal set), so it is computed once per
+// insertion and shared across the per-queue keys.
 func (s *searcher) insert(st *symex.State) {
 	s.alive[st] = true
 	if s.opts.Strategy == StrategyESD {
+		sched := s.schedDistance(st)
 		for q := range s.queueGoals {
-			s.heaps[q].push(heapEntry{st: st, key: s.esdKey(st, s.queueGoals[q])})
+			s.heaps[q].push(heapEntry{st: st, key: s.esdKey(st, s.queueGoals[q], sched)})
+		}
+		if s.schedGuided {
+			// Only schedule-guided searches drain the aging FIFO; feeding
+			// it otherwise would pin every dead state against GC.
+			s.fifo = append(s.fifo, st)
 		}
 	} else {
 		s.pool = append(s.pool, st)
@@ -351,11 +398,40 @@ func (s *searcher) pick() *symex.State {
 	return nil
 }
 
+// agingPeriod is the cadence of the FIFO aging pick: every fourth pick
+// runs the oldest live state instead of the fittest one. Three quarters of
+// the budget follows the heuristic; the aging quarter guarantees drainage.
+const agingPeriod = 4
+
+// pickFIFO removes and returns the oldest live state (entries for states
+// already taken die lazily, as in the heaps).
+func (s *searcher) pickFIFO() *symex.State {
+	for len(s.fifo) > 0 {
+		st := s.fifo[0]
+		s.fifo[0] = nil // release the popped slot's backing-array reference
+		s.fifo = s.fifo[1:]
+		if s.alive[st] {
+			s.remove(st)
+			return st
+		}
+	}
+	return nil
+}
+
 // pickESD chooses a virtual queue uniformly at random and takes its best
-// live state: lowest (scheduleFar, distance, ID) — the §4.1 weighting
-// prefers near-schedule states over everything else. Entries for states
-// already taken are discarded lazily.
+// live state: lowest (fitness, ID), where fitness weights the graded §4.1
+// schedule distance far above the instruction-level data distance. Entries
+// for states already taken are discarded lazily. Every agingPeriod-th pick
+// comes from the insertion-order FIFO instead (see the fifo field).
 func (s *searcher) pickESD() *symex.State {
+	if s.schedGuided {
+		s.picks++
+		if s.picks%agingPeriod == 0 {
+			if st := s.pickFIFO(); st != nil {
+				return st
+			}
+		}
+	}
 	for attempts := 0; attempts < 2*len(s.heaps); attempts++ {
 		q := s.rng.Intn(len(s.heaps))
 		for {
@@ -385,32 +461,121 @@ func (s *searcher) pickESD() *symex.State {
 	return nil
 }
 
+// syncWeight is the §4.1 weighting between the two fitness components:
+// one synchronization operation of schedule distance outweighs any
+// realistic data distance (programs here are well under 2^18 instructions),
+// so ordering is schedule-distance-first with data distance refining within
+// each schedule band — the graded generalization of the old near/far bit.
+const syncWeight int64 = 1 << 18
+
 type esdKey struct {
-	far  int // 0 when schedule-near (preferred)
-	dist int64
-	id   int
+	fit int64 // weighted schedule + data distance (lower is better)
+	id  int
 }
 
 func (k esdKey) less(o esdKey) bool {
-	if k.far != o.far {
-		return k.far < o.far
-	}
-	if k.dist != o.dist {
-		return k.dist < o.dist
+	if k.fit != o.fit {
+		return k.fit < o.fit
 	}
 	return k.id < o.id
 }
 
-func (s *searcher) esdKey(st *symex.State, goalSet []mir.Loc) esdKey {
-	far := 1
-	if st.SchedDist == symex.SchedNear {
-		far = 0
+// combineFitness folds the graded schedule distance and the instruction
+// data distance into one key, saturating at Infinite.
+func combineFitness(dataD, syncD int64) int64 {
+	if dataD >= dist.Infinite || syncD >= dist.Infinite/syncWeight {
+		return dist.Infinite
 	}
+	return dataD + syncD*syncWeight
+}
+
+func (s *searcher) esdKey(st *symex.State, goalSet []mir.Loc, sched int64) esdKey {
 	d := int64(0)
 	if !s.opts.NoProximity {
 		d = s.stateDistance(st, goalSet)
 	}
-	return esdKey{far: far, dist: d, id: st.ID}
+	return esdKey{fit: combineFitness(d, sched), id: st.ID}
+}
+
+// schedDistance is the graded §4.1 schedule-distance of a state: the
+// estimated number of synchronization operations separating the state from
+// the reported bug's full goal configuration, summed over the goals.
+//
+// For deadlock reports a goal is *pinned* once a thread is blocked at that
+// wait site — that part of the deadlock is done and contributes 0. An
+// unpinned goal contributes the blocking acquisition itself (1) plus the
+// fewest sync operations any live thread needs to arrive there. Counting
+// the pin explicitly is what separates true hold-and-wait states from
+// states whose threads merely stand at the goal sites holding nothing:
+// both are positionally at distance zero, but only the former have
+// schedule work behind them, and ranking them equal lets the ever-growing
+// frontier of lock-free look-alikes starve the real deadlock lineages.
+// Duplicate wait sites (two threads deadlocking at one lock statement)
+// consume one pin each. Crash/race reports have a single goal no thread
+// blocks at, so the metric degrades to the plain positional minimum.
+//
+// The metric is recomputed from the current stacks at every insertion and
+// deliberately overrides the policy's sticky marks: a sticky "far"
+// demotion (the binary scheme) starves the very states that complete a
+// multi-party cycle. The BinarySchedDist ablation restores the historical
+// behavior: the policy's bit (0 = near) and one undifferentiated far band.
+func (s *searcher) schedDistance(st *symex.State) int64 {
+	if s.opts.BinarySchedDist {
+		if st.SchedDist == 0 {
+			return 0
+		}
+		return symex.SchedDistFar
+	}
+	if !s.schedGuided {
+		return 0
+	}
+	deadlock := s.rep.Kind == report.KindDeadlock
+	var pins map[mir.Loc]int
+	if deadlock {
+		for _, t := range st.Threads {
+			if t.Status != symex.ThreadBlockedMutex && t.Status != symex.ThreadBlockedCond {
+				continue
+			}
+			if f := t.Top(); f != nil {
+				if pins == nil {
+					pins = make(map[mir.Loc]int, len(s.finalGoals))
+				}
+				pins[f.Loc()]++
+			}
+		}
+	}
+	var total int64
+	for _, g := range s.finalGoals {
+		if pins[g] > 0 {
+			pins[g]--
+			continue
+		}
+		best := int64(dist.Infinite)
+		for _, t := range st.Threads {
+			if t.Status == symex.ThreadExited {
+				continue
+			}
+			if d := s.calc.SyncDistance(t.Stack(), g); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if deadlock {
+			best = add(best, 1)
+		}
+		total = add(total, best)
+	}
+	return total
+}
+
+// add is Infinite-saturating addition (mirrors dist's clamp).
+func add(a, b int64) int64 {
+	if a >= dist.Infinite || b >= dist.Infinite {
+		return dist.Infinite
+	}
+	return a + b
 }
 
 // stateDistance estimates the state's proximity to the nearest member of
@@ -441,6 +606,7 @@ func (s *searcher) quantum(st *symex.State, res *Result) *symex.State {
 		if err != nil {
 			// Engine-level errors abandon the state (they indicate an
 			// internal inconsistency, not a program failure).
+			res.StepErrors++
 			return nil
 		}
 		if len(succ) == 0 {
@@ -458,6 +624,7 @@ func (s *searcher) quantum(st *symex.State, res *Result) *symex.State {
 		}
 	}
 	if s.prunable(st) {
+		res.Pruned++
 		return nil // statically cannot reach the goal: abandon (§3.2)
 	}
 	s.insert(st)
@@ -471,6 +638,7 @@ func (s *searcher) admit(f *symex.State, res *Result) *symex.State {
 		return s.terminal(f, res)
 	}
 	if s.prunable(f) {
+		res.Pruned++
 		return nil
 	}
 	s.insert(f)
@@ -480,6 +648,7 @@ func (s *searcher) admit(f *symex.State, res *Result) *symex.State {
 // terminal classifies a finished state: the reported bug, a different bug,
 // or an uninteresting exit.
 func (s *searcher) terminal(st *symex.State, res *Result) *symex.State {
+	res.Terminals[st.Status]++
 	if s.rep.Matches(st) {
 		return st
 	}
@@ -552,12 +721,13 @@ func (s *searcher) shedStates() {
 	}
 	arr := make([]scored, 0, len(s.alive))
 	for st := range s.alive {
-		arr = append(arr, scored{st, s.esdKey(st, goalSet)})
+		arr = append(arr, scored{st, s.esdKey(st, goalSet, s.schedDistance(st))})
 	}
 	sort.Slice(arr, func(i, j int) bool { return arr[i].k.less(arr[j].k) })
 	keep := len(arr) / 2
 	s.alive = make(map[*symex.State]bool, keep)
 	s.pool = s.pool[:0]
+	s.fifo = nil // drop the backing array: shed states must become collectable
 	s.heaps = make([]stateHeap, len(s.queueGoals))
 	for i := 0; i < keep; i++ {
 		s.insert(arr[i].st)

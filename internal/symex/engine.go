@@ -117,6 +117,7 @@ func (e *Engine) InitialState() (*State, error) {
 		Mutexes:     map[MutexKey]*MutexState{},
 		CondWaiters: map[MutexKey][]int{},
 		Snapshots:   map[MutexKey]*State{},
+		SchedDist:   SchedDistUnknown,
 		globalIDs:   map[string]int{},
 		envBufs:     map[string]int{},
 	}

@@ -308,7 +308,15 @@ type State struct {
 
 	// Schedule-synthesis metadata (§4.1).
 	Snapshots map[MutexKey]*State // K_S: mutex -> pre-acquisition snapshot
-	SchedDist int                 // SchedFar or SchedNear
+	// SchedDist is the scheduling policy's schedule-distance mark (§4.1):
+	// its estimate of how many synchronization operations separate this
+	// state from its goal lock sites (lower = closer). 0 marks states the
+	// policy placed exactly on the deadlock schedule (activated K_S
+	// snapshots, threads holding their inner lock). The graded search
+	// ranks states by the static sync-distance metric (internal/dist)
+	// recomputed from live stacks instead; the sticky mark is what the
+	// binary near/far ablation consumes.
+	SchedDist int64
 
 	// syncApproved records which (thread, location) pending sync
 	// instruction was already offered to the scheduling policy, so that
@@ -320,17 +328,30 @@ type State struct {
 	// history (used by the Chess-style preemption-bounding baseline).
 	Preemptions int
 
+	// EagerForks counts §4.1 eager pre-acquisition forks along this
+	// state's history. A deadlock of N parties needs about N deferred
+	// acquisitions, so the scheduling policy bounds this tightly — without
+	// the bound, two threads contending on one near-goal lock regenerate
+	// each other's alternatives indefinitely.
+	EagerForks int
+
 	// globalIDs maps global names to object IDs (shared, immutable).
 	globalIDs map[string]int
 	// envBufs maps env var names to their backing objects.
 	envBufs map[string]int
 }
 
-// Schedule-distance values (§4.1): states believed near the deadlock are
-// preferred.
+// Schedule-distance sentinels (§4.1). Real SchedDist values are estimated
+// synchronization-operation counts; the sentinels bracket them.
 const (
-	SchedFar  = 0
-	SchedNear = 1
+	// SchedDistUnknown marks a state no policy has scored.
+	SchedDistUnknown int64 = -1
+	// SchedDistFar demotes a state the policy knows is on the wrong side
+	// of a rollback (the blocked state whose K_S snapshot was activated):
+	// it dominates every real sync-distance estimate while staying far
+	// from the Infinite used for statically unreachable states. Only the
+	// binary near/far ablation orders by these marks.
+	SchedDistFar int64 = 1 << 20
 )
 
 // Fork produces a copy of the state sharing memory copy-on-write. The
@@ -358,6 +379,7 @@ func (st *State) Fork() *State {
 		SchedDist:    st.SchedDist,
 		syncApproved: st.syncApproved,
 		Preemptions:  st.Preemptions,
+		EagerForks:   st.EagerForks,
 		globalIDs:    st.globalIDs,
 		envBufs:      make(map[string]int, len(st.envBufs)),
 	}
