@@ -10,6 +10,7 @@
 package esd_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -41,9 +42,9 @@ func BenchmarkTable1(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := search.Synthesize(prog, rep, search.Options{
+				res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 					Strategy: search.StrategyESD,
-					Timeout:  benchCfg().Timeout,
+					Budget:   benchCfg().Timeout,
 					Seed:     benchCfg().Seed,
 				})
 				if err != nil {
@@ -86,10 +87,10 @@ func BenchmarkFigure2(b *testing.B) {
 				b.ResetTimer()
 				found := false
 				for i := 0; i < b.N; i++ {
-					res, err := search.Synthesize(prog, rep, search.Options{
+					res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 						Strategy:        k.strat,
 						PreemptionBound: k.bound,
-						Timeout:         benchCfg().Timeout,
+						Budget:          benchCfg().Timeout,
 						Seed:            benchCfg().Seed,
 					})
 					if err != nil {
@@ -140,10 +141,10 @@ func BenchmarkFigure3(b *testing.B) {
 			k := k
 			b.Run(fmt.Sprintf("branches=%d/%s", p.Branches, k.name), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					res, err := search.Synthesize(prog, rep, search.Options{
+					res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 						Strategy:        k.strat,
 						PreemptionBound: k.bound,
-						Timeout:         benchCfg().Timeout,
+						Budget:          benchCfg().Timeout,
 						Seed:            benchCfg().Seed,
 					})
 					if err != nil {
@@ -181,9 +182,9 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("kloc=%.2f", float64(g.Lines)/1000), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := search.Synthesize(prog, rep, search.Options{
+				res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 					Strategy: search.StrategyESD,
-					Timeout:  benchCfg().Timeout,
+					Budget:   benchCfg().Timeout,
 					Seed:     benchCfg().Seed,
 				})
 				if err != nil {
@@ -216,19 +217,20 @@ func BenchmarkAblation(b *testing.B) {
 		opt  search.Options
 	}{
 		{"full", search.Options{}},
-		{"no-proximity", search.Options{NoProximity: true}},
-		{"no-intermediate-goals", search.Options{NoIntermediateGoals: true}},
-		{"no-pruning", search.Options{NoCriticalEdges: true}},
-		{"none", search.Options{NoProximity: true, NoIntermediateGoals: true, NoCriticalEdges: true}},
+		{"no-proximity", search.Options{Ablate: search.Ablate{NoProximity: true}}},
+		{"no-intermediate-goals", search.Options{Ablate: search.Ablate{NoIntermediateGoals: true}}},
+		{"no-pruning", search.Options{Ablate: search.Ablate{NoCriticalEdges: true}}},
+		{"none", search.Options{Ablate: search.Ablate{
+			NoProximity: true, NoIntermediateGoals: true, NoCriticalEdges: true}}},
 	} {
 		v := v
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opt := v.opt
 				opt.Strategy = search.StrategyESD
-				opt.Timeout = benchCfg().Timeout
+				opt.Budget = benchCfg().Timeout
 				opt.Seed = benchCfg().Seed
-				res, err := search.Synthesize(prog, rep, opt)
+				res, err := search.Synthesize(context.Background(), prog, rep, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -252,8 +254,8 @@ func BenchmarkSolver(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := search.Synthesize(prog, rep, search.Options{
-			Strategy: search.StrategyESD, Timeout: benchCfg().Timeout, Seed: int64(i),
+		res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
+			Strategy: search.StrategyESD, Budget: benchCfg().Timeout, Seed: int64(i),
 		})
 		if err != nil {
 			b.Fatal(err)

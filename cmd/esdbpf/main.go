@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -78,9 +79,9 @@ func main() {
 				{"ESD", search.StrategyESD, 0},
 				{"KC-RandPath", search.StrategyRandomPath, 2},
 			} {
-				res, err := search.Synthesize(prog, rep, search.Options{
+				res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 					Strategy: cfg.strat, PreemptionBound: cfg.bound,
-					Timeout: *timeout, Seed: 1,
+					Budget: *timeout, Seed: 1,
 				})
 				if err != nil {
 					fatal(err)

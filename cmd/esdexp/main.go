@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"esd/internal/exp"
@@ -35,13 +37,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the sweep mid-search instead of waiting a budget out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := exp.Config{Timeout: *timeout, Seed: *seed, MaxBPFExp: *maxExp}
 	fmt.Print(exp.Banner(cfg))
 
 	any := false
 	if *table1 || *all {
 		any = true
-		rows, err := exp.Table1(cfg)
+		rows, err := exp.Table1(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -50,7 +56,7 @@ func main() {
 	}
 	if *fig2 || *all {
 		any = true
-		rows, err := exp.Figure2(cfg)
+		rows, err := exp.Figure2(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -59,7 +65,7 @@ func main() {
 	}
 	if *fig3 || *fig4 || *all {
 		any = true
-		rows, err := exp.Figure3(cfg)
+		rows, err := exp.Figure3(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,7 +84,7 @@ func main() {
 		if app == "" {
 			app = "listing1"
 		}
-		rows, err := exp.Ablation(app, cfg)
+		rows, err := exp.Ablation(ctx, app, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +93,7 @@ func main() {
 	}
 	if *stress || *all {
 		any = true
-		rows, err := exp.Stress(200, cfg)
+		rows, err := exp.Stress(ctx, 200, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,75 @@
+// Command esdserve runs the execution-synthesis debugger as an HTTP/JSON
+// service — the deployment the paper sketches in §1/§8: developers (or a
+// triage pipeline) hand coredumps to a long-lived service that answers
+// with synthesized executions.
+//
+//	esdserve -addr :8080 [-max-concurrent 4] [-default-budget 60s] [-max-budget 10m]
+//
+// Endpoints (see internal/service for the full wire contract):
+//
+//	POST /compile     compile MiniC source, get a reusable program_id
+//	POST /synthesize  synthesize one coredump (SSE progress with "stream")
+//	POST /batch       synthesize many coredumps of one program
+//	GET  /healthz     liveness + engine/interner observability
+//
+// Example:
+//
+//	curl -s -X POST localhost:8080/synthesize -d '{"app":"listing1"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"esd"
+	"esd/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 4, "max simultaneous syntheses (excess requests get 429)")
+		defaultBudget = flag.Duration("default-budget", 60*time.Second, "budget for requests without budget_ms")
+		maxBudget     = flag.Duration("max-budget", 10*time.Minute, "cap on requested budgets")
+	)
+	flag.Parse()
+
+	eng := esd.New(
+		esd.WithDefaultBudget(*defaultBudget),
+		esd.WithMaxConcurrent(*maxConcurrent),
+	)
+	srv := service.New(eng, service.Config{
+		DefaultBudget: *defaultBudget,
+		MaxBudget:     *maxBudget,
+		MaxConcurrent: *maxConcurrent,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("esdserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("esdserve: listening on %s (max-concurrent=%d, default-budget=%s, max-budget=%s)",
+		*addr, *maxConcurrent, *defaultBudget, *maxBudget)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "esdserve: %v\n", err)
+		os.Exit(1)
+	}
+}

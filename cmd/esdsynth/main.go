@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"esd"
@@ -31,8 +33,14 @@ func main() {
 		kindHint = flag.String("kind", "", "bug kind hint: crash, deadlock, race (overrides coredump)")
 		raceDet  = flag.Bool("with-race-det", false, "enable data-race detection during synthesis")
 		bound    = flag.Int("preemption-bound", 0, "use Chess-style preemption bounding (KC baseline)")
+		progress = flag.Bool("progress", false, "stream search progress to stderr")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the search promptly (reported as "cancelled", not a
+	// timeout) instead of letting the budget run out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	prog, rep, err := loadTarget(*appName, *srcFile, *coreFile)
 	if err != nil {
@@ -66,13 +74,23 @@ func main() {
 	fmt.Printf("esdsynth: synthesizing %s bug (%s strategy, %s budget)\n", rep.R.Kind, strat, timeout)
 	fmt.Print(rep.String())
 
-	res, err := esd.Synthesize(prog, rep, esd.Options{
-		Strategy:         strat,
-		Timeout:          *timeout,
-		Seed:             *seed,
-		WithRaceDetector: *raceDet,
-		PreemptionBound:  *bound,
-	})
+	eng := esd.New()
+	synthOpts := []esd.SynthOption{
+		esd.WithStrategy(strat),
+		esd.WithBudget(*timeout),
+		esd.WithSeed(*seed),
+		esd.WithPreemptionBound(*bound),
+	}
+	if *raceDet {
+		synthOpts = append(synthOpts, esd.WithRaceDetection())
+	}
+	if *progress {
+		synthOpts = append(synthOpts, esd.OnProgress(func(ev esd.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "[%7.2fs] %-7s steps=%-10d states=%-7d live=%-6d depth=%-8d best=%d\n",
+				ev.Elapsed.Seconds(), ev.Phase, ev.Steps, ev.States, ev.Live, ev.Depth, ev.BestDist)
+		}))
+	}
+	res, err := eng.Synthesize(ctx, prog, rep, synthOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,7 +100,10 @@ func main() {
 		fmt.Printf("note: different bug discovered during search: %s\n", b)
 	}
 	if !res.Found {
-		if res.TimedOut {
+		switch {
+		case res.Cancelled:
+			fatal(fmt.Errorf("synthesis cancelled"))
+		case res.TimedOut:
 			fatal(fmt.Errorf("no execution synthesized within the time budget"))
 		}
 		fatal(fmt.Errorf("search space exhausted without reproducing the bug"))

@@ -1,0 +1,416 @@
+package esd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esd/internal/dist"
+	"esd/internal/expr"
+	"esd/internal/search"
+	"esd/internal/solver"
+	"esd/internal/trace"
+)
+
+// DefaultBudget is the per-synthesis wall-clock budget applied when
+// neither a SynthOption nor the context imposes a tighter bound. It is
+// the engine-level replacement for the 10-minute default the deprecated
+// Synthesize wrapper used to hardcode; override it per engine with
+// WithDefaultBudget or per call with WithBudget.
+const DefaultBudget = 10 * time.Minute
+
+// Engine is the long-lived synthesis core: it amortizes compiled
+// programs, per-program distance tables (via the fingerprint-keyed
+// dist cache), and warm solver caches across requests, and is safe for
+// concurrent use. Create one per process (or per tenant) with New; the
+// esdserve service and the CLIs all run on top of it.
+type Engine struct {
+	defaultBudget time.Duration
+	maxConcurrent int
+	onProgress    func(ProgressEvent)
+
+	// solvers pools warm solvers: a solver's memoized query cache is
+	// keyed by globally interned term identity, so reusing one across
+	// requests (even for different programs) only adds hits. Solvers are
+	// single-threaded, so concurrent syntheses each take their own.
+	solvers sync.Pool
+
+	mu       sync.Mutex
+	programs map[string]*Program // Compile cache, keyed by source hash
+
+	active      atomic.Int64
+	synthesized atomic.Int64
+	found       atomic.Int64
+	compiled    atomic.Int64
+	compileHits atomic.Int64
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithDefaultBudget sets the wall-clock budget used by syntheses that do
+// not specify their own (default DefaultBudget).
+func WithDefaultBudget(d time.Duration) Option {
+	return func(e *Engine) { e.defaultBudget = d }
+}
+
+// WithMaxConcurrent bounds the batch worker pool (default GOMAXPROCS).
+func WithMaxConcurrent(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maxConcurrent = n
+		}
+	}
+}
+
+// WithProgress installs an engine-wide default progress hook, used by
+// syntheses that do not pass their own OnProgress option. The engine
+// serializes calls to it, so a single hook shared by concurrent
+// Synthesize calls never runs concurrently with itself.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(e *Engine) { e.onProgress = fn }
+}
+
+// New builds an Engine with the given options.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		defaultBudget: DefaultBudget,
+		maxConcurrent: runtime.GOMAXPROCS(0),
+		programs:      map[string]*Program{},
+	}
+	e.solvers.New = func() any { return solver.New() }
+	for _, o := range opts {
+		o(e)
+	}
+	if fn := e.onProgress; fn != nil {
+		// The engine is documented safe for concurrent use, so the shared
+		// default hook must not become a data race when two Synthesize
+		// calls fall back to it (per-call OnProgress hooks belong to their
+		// caller and stay unserialized).
+		var mu sync.Mutex
+		e.onProgress = func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(ev)
+		}
+	}
+	return e
+}
+
+// maxCachedPrograms bounds the Compile memo. The steady state is many
+// reports against a handful of builds, so the cap is generous; but a
+// client churning distinct sources (fuzzing, CI) must not grow the
+// engine without bound. Eviction is arbitrary-entry: no access-order
+// bookkeeping on the hit path, and a re-compile of an evicted program
+// is cheap relative to a synthesis.
+const maxCachedPrograms = 256
+
+// Compile compiles MiniC source, memoizing by source text: repeated
+// requests for the same program (the service's steady state — many bug
+// reports against one build) share one compiled program and therefore
+// one distance-table cache entry.
+func (e *Engine) Compile(filename, source string) (*Program, error) {
+	sum := sha256.Sum256(append([]byte(filename+"\x00"), source...))
+	key := hex.EncodeToString(sum[:])
+	e.mu.Lock()
+	if p, ok := e.programs[key]; ok {
+		e.mu.Unlock()
+		e.compileHits.Add(1)
+		return p, nil
+	}
+	e.mu.Unlock()
+	// Compile outside the lock: concurrent first-time compiles of
+	// different programs must not serialize. A racing duplicate compile
+	// of the same source is harmless (last one wins; both are identical).
+	p, err := CompileMiniC(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev, ok := e.programs[key]; ok {
+		p = prev
+	} else {
+		for k := range e.programs {
+			if len(e.programs) < maxCachedPrograms {
+				break
+			}
+			delete(e.programs, k)
+		}
+		e.programs[key] = p
+		e.compiled.Add(1)
+	}
+	e.mu.Unlock()
+	return p, nil
+}
+
+// ProgressEvent is a streaming synthesis-progress snapshot (phase
+// transitions plus periodic step/state/frontier/distance counters).
+type ProgressEvent = search.ProgressEvent
+
+// Phase identifies the synthesis pipeline stage of a ProgressEvent.
+type Phase = search.Phase
+
+// Synthesis phases, in pipeline order.
+const (
+	PhaseAnalyze = search.PhaseAnalyze
+	PhaseSearch  = search.PhaseSearch
+	PhaseSolve   = search.PhaseSolve
+	PhaseDone    = search.PhaseDone
+)
+
+// Ablate disables individual search-focusing techniques (the §7.3
+// ablation study). The zero value runs full ESD.
+type Ablate = search.Ablate
+
+// SynthOption tunes one Synthesize or SynthesizeBatch call.
+type SynthOption func(*search.Options)
+
+// WithStrategy selects the search strategy (default ESD).
+func WithStrategy(s Strategy) SynthOption {
+	return func(o *search.Options) { o.Strategy = s }
+}
+
+// WithBudget bounds the synthesis wall-clock time. Zero means the
+// engine's default budget; the context's deadline applies when tighter.
+func WithBudget(d time.Duration) SynthOption {
+	return func(o *search.Options) { o.Budget = d }
+}
+
+// WithSeed makes the run deterministic for a given seed.
+func WithSeed(seed int64) SynthOption {
+	return func(o *search.Options) { o.Seed = seed }
+}
+
+// WithPreemptionBound switches to Chess-style bounded schedule search
+// (the KC baseline) when n > 0.
+func WithPreemptionBound(n int) SynthOption {
+	return func(o *search.Options) { o.PreemptionBound = n }
+}
+
+// WithRaceDetection enables Eraser-style race detection during synthesis
+// (finds race-triggered bugs and flags preemption points).
+func WithRaceDetection() SynthOption {
+	return func(o *search.Options) { o.WithRaceDetector = true }
+}
+
+// WithAblate disables individual search-focusing techniques.
+func WithAblate(a Ablate) SynthOption {
+	return func(o *search.Options) { o.Ablate = a }
+}
+
+// WithMaxSteps bounds total executed instructions (0 = default 50M).
+func WithMaxSteps(n int64) SynthOption {
+	return func(o *search.Options) { o.MaxSteps = n }
+}
+
+// OnProgress streams progress events for this call (overrides the
+// engine-wide hook). The callback runs synchronously on the synthesis
+// goroutine — keep it fast. SynthesizeBatch serializes calls across its
+// workers, so a single callback never runs concurrently with itself.
+func OnProgress(fn func(ProgressEvent)) SynthOption {
+	return func(o *search.Options) { o.OnProgress = fn }
+}
+
+// WithBatchWorkers caps the worker pool of the SynthesizeBatch call it
+// is passed to (at most the engine's WithMaxConcurrent). Services use it
+// to charge a batch against their own admission budget. Ignored by
+// Synthesize.
+func WithBatchWorkers(n int) SynthOption {
+	return func(o *search.Options) { o.BatchWorkers = n }
+}
+
+// Synthesize searches for an execution of prog that reproduces rep. It
+// honors ctx: cancellation aborts the search promptly (the VM polls the
+// context on a short step cadence) and is reported as Result.Cancelled;
+// a ctx deadline tighter than the budget is reported as TimedOut.
+func (e *Engine) Synthesize(ctx context.Context, prog *Program, rep *BugReport, opts ...SynthOption) (*Result, error) {
+	var so search.Options
+	for _, o := range opts {
+		o(&so)
+	}
+	return e.synthesize(ctx, prog, rep, so)
+}
+
+func (e *Engine) synthesize(ctx context.Context, prog *Program, rep *BugReport, so search.Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if so.Budget == 0 {
+		so.Budget = e.defaultBudget
+	}
+	// Honor a context deadline tighter than the budget: the search's own
+	// wall-clock check then fires first and reports TimedOut without
+	// waiting for the context machinery.
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < so.Budget {
+			so.Budget = rem
+		}
+	}
+	if so.OnProgress == nil {
+		so.OnProgress = e.onProgress
+	}
+	if so.Solver == nil {
+		sol := e.solvers.Get().(*solver.Solver)
+		defer e.solvers.Put(sol)
+		so.Solver = sol
+	}
+
+	e.active.Add(1)
+	defer e.active.Add(-1)
+	res, err := search.Synthesize(ctx, prog.MIR, rep.R, so)
+	e.synthesized.Add(1)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		TimedOut:  res.TimedOut,
+		Cancelled: res.Cancelled,
+		OtherBugs: res.OtherBugs,
+		Stats: Stats{
+			Duration:        res.Duration,
+			Steps:           res.Steps,
+			States:          res.StatesCreated,
+			BranchForks:     res.BranchForks,
+			SolverQueries:   res.SolverQueries,
+			SolverCacheHits: res.SolverHits,
+			Interner:        expr.InternerStats(),
+		},
+	}
+	emit := func(ph Phase) {
+		if so.OnProgress != nil {
+			so.OnProgress(ProgressEvent{Phase: ph, Elapsed: res.Duration, Steps: res.Steps, States: res.StatesCreated, SolverQueries: res.SolverQueries})
+		}
+	}
+	if res.Found != nil {
+		emit(PhaseSolve)
+		ex, err := trace.FromState(res.Found, so.Solver)
+		if err != nil {
+			return nil, fmt.Errorf("esd: solving synthesized path: %w", err)
+		}
+		out.Execution = &Execution{E: ex}
+		out.Found = true
+		e.found.Add(1)
+	}
+	emit(PhaseDone)
+	return out, nil
+}
+
+// SynthesizeBatch synthesizes every report against one program, fanning
+// out over a bounded worker pool (WithMaxConcurrent). All workers share
+// the compiled program, its fingerprint-keyed distance tables, and the
+// engine's warm solver pool — the per-request setup a one-shot call pays
+// is paid once per batch. Results align with reports by index; per-report
+// failures land in Result.Err rather than aborting the batch. Progress
+// events carry the report index in ProgressEvent.Report.
+func (e *Engine) SynthesizeBatch(ctx context.Context, prog *Program, reports []*BugReport, opts ...SynthOption) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var base search.Options
+	for _, o := range opts {
+		o(&base)
+	}
+	results := make([]*Result, len(reports))
+	if len(reports) == 0 {
+		return results, nil
+	}
+	workers := e.maxConcurrent
+	if base.BatchWorkers > 0 && base.BatchWorkers < workers {
+		workers = base.BatchWorkers
+	}
+	if workers > len(reports) {
+		workers = len(reports)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One mutex serializes the user's progress callback across workers:
+	// the OnProgress contract is a single-goroutine callback, and batch
+	// fan-out must not silently turn it into a data race.
+	var progressMu sync.Mutex
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					results[i] = &Result{Cancelled: true, Err: err}
+					continue
+				}
+				so := base
+				if so.OnProgress == nil {
+					so.OnProgress = e.onProgress
+				}
+				if fn := so.OnProgress; fn != nil {
+					report := i
+					so.OnProgress = func(ev ProgressEvent) {
+						ev.Report = report
+						progressMu.Lock()
+						defer progressMu.Unlock()
+						fn(ev)
+					}
+				}
+				res, err := e.synthesize(ctx, prog, reports[i], so)
+				if err != nil {
+					res = &Result{Err: err}
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range reports {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+// EngineStats is a point-in-time snapshot of an Engine's cumulative
+// activity and shared-cache health (the /healthz payload of esdserve).
+type EngineStats struct {
+	// Active is the number of syntheses currently running.
+	Active int64 `json:"active"`
+	// Synthesized counts completed synthesis calls; Found counts the
+	// subset that reproduced their bug.
+	Synthesized int64 `json:"synthesized"`
+	Found       int64 `json:"found"`
+	// ProgramsCompiled and CompileCacheHits report Compile traffic;
+	// ProgramsCached is the memo's current (bounded) size.
+	ProgramsCompiled int64 `json:"programs_compiled"`
+	CompileCacheHits int64 `json:"compile_cache_hits"`
+	ProgramsCached   int   `json:"programs_cached"`
+	// DistCacheHits/Misses report fingerprint-keyed distance-table
+	// sharing across runs (process-wide, not per engine).
+	DistCacheHits   int64 `json:"dist_cache_hits"`
+	DistCacheMisses int64 `json:"dist_cache_misses"`
+	// Interner is the global hash-consed term store's footprint
+	// (append-only: watch it in long-lived service processes).
+	Interner InternerStats `json:"interner"`
+}
+
+// Stats snapshots the engine.
+func (e *Engine) Stats() EngineStats {
+	hits, misses := dist.SharedCacheStats()
+	e.mu.Lock()
+	cached := len(e.programs)
+	e.mu.Unlock()
+	return EngineStats{
+		Active:           e.active.Load(),
+		Synthesized:      e.synthesized.Load(),
+		Found:            e.found.Load(),
+		ProgramsCompiled: e.compiled.Load(),
+		CompileCacheHits: e.compileHits.Load(),
+		ProgramsCached:   cached,
+		DistCacheHits:    hits,
+		DistCacheMisses:  misses,
+		Interner:         expr.InternerStats(),
+	}
+}

@@ -11,25 +11,41 @@
 // combines static analysis (critical edges, intermediate goals) with
 // proximity-guided multi-threaded symbolic execution.
 //
-// Typical use:
+// The entry point is the Engine: a long-lived, concurrency-safe synthesis
+// core that amortizes compiled programs, per-program distance tables, and
+// warm solver caches across requests, supports context cancellation and
+// streaming progress, and fans batches of reports out over a worker pool:
 //
-//	prog, _ := esd.CompileMiniC("app.c", source)
+//	eng := esd.New()                          // one per process
+//	prog, _ := eng.Compile("app.c", source)   // memoized by source
 //	rep, _  := esd.ReportFromJSON(coredumpJSON)
-//	res, _  := esd.Synthesize(prog, rep, esd.Options{})
+//	res, _  := eng.Synthesize(ctx, prog, rep,
+//		esd.WithBudget(2*time.Minute),
+//		esd.OnProgress(func(ev esd.ProgressEvent) { log.Println(ev.Phase, ev.Steps) }))
 //	player, _ := esd.NewPlayer(prog, res.Execution, esd.Strict)
 //	final, _  := player.Run(1e6)   // deterministically reproduces the bug
+//
+// Many reports against one program — the §8 triage workload — go through
+// SynthesizeBatch, which shares one set of distance tables and compiled
+// state across the pool. cmd/esdserve exposes the same engine over
+// HTTP/JSON with SSE progress streaming.
+//
+// The pre-Engine one-shot API (Synthesize, Options) remains as thin
+// deprecated wrappers over a package-default engine.
 package esd
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"esd/internal/expr"
 	"esd/internal/lang"
 	"esd/internal/mir"
 	"esd/internal/replay"
 	"esd/internal/report"
 	"esd/internal/search"
-	"esd/internal/solver"
 	"esd/internal/symex"
 	"esd/internal/trace"
 	"esd/internal/usersite"
@@ -54,6 +70,13 @@ func (p *Program) Dump() string { return p.MIR.String() }
 
 // NumInstrs returns the program's instruction count.
 func (p *Program) NumInstrs() int { return p.MIR.NumInstrs() }
+
+// ID returns a stable identifier derived from the program's structural
+// fingerprint — the handle esdserve hands out from /compile and the key
+// under which distance tables are shared across runs.
+func (p *Program) ID() string {
+	return fmt.Sprintf("%s-%016x", p.MIR.Name, p.MIR.Fingerprint())
+}
 
 // BugReport is a coredump-derived bug report (the input to synthesis).
 type BugReport struct {
@@ -85,8 +108,50 @@ const (
 	RandomPath = search.StrategyRandomPath
 )
 
-// Options tunes synthesis. The zero value asks for ESD's guided search
-// with a 10-minute budget.
+// Result is a successful or failed synthesis.
+type Result struct {
+	// Execution is the synthesized execution file (nil if not found).
+	Execution *Execution
+	// Found reports success.
+	Found bool
+	// TimedOut reports budget exhaustion (the synthesis budget or a
+	// context deadline) as opposed to space exhaustion.
+	TimedOut bool
+	// Cancelled reports that the context was cancelled mid-synthesis —
+	// distinct from TimedOut: the caller withdrew the request, the search
+	// did not run out of budget or space.
+	Cancelled bool
+	// Stats summarizes the search effort.
+	Stats Stats
+	// OtherBugs are failures found that do not match the report.
+	OtherBugs []string
+	// Err records a per-report failure inside SynthesizeBatch (always nil
+	// on results returned directly by Synthesize, which returns its error).
+	Err error
+}
+
+// InternerStats is the global hash-consed term store's footprint.
+type InternerStats = expr.Stats
+
+// Stats summarizes search effort.
+type Stats struct {
+	Duration        time.Duration
+	Steps           int64
+	States          int64
+	BranchForks     int64
+	SolverQueries   int
+	SolverCacheHits int
+	// Interner snapshots the process-wide term store after the run. The
+	// store is append-only, so long-lived services watch this for growth
+	// (also surfaced by esdserve's /healthz).
+	Interner InternerStats
+}
+
+// Options tunes synthesis through the deprecated one-shot API.
+//
+// Deprecated: use Engine.Synthesize with SynthOption arguments
+// (WithBudget, WithStrategy, WithSeed, WithAblate, ...). This struct
+// remains so pre-Engine callers keep compiling.
 type Options struct {
 	Strategy Strategy
 	Timeout  time.Duration
@@ -104,67 +169,29 @@ type Options struct {
 	NoCriticalEdges     bool
 }
 
-// Result is a successful or failed synthesis.
-type Result struct {
-	// Execution is the synthesized execution file (nil if not found).
-	Execution *Execution
-	// Found reports success.
-	Found bool
-	// TimedOut distinguishes budget exhaustion from space exhaustion.
-	TimedOut bool
-	// Stats summarizes the search effort.
-	Stats Stats
-	// OtherBugs are failures found that do not match the report.
-	OtherBugs []string
-}
+// defaultEngine backs the deprecated one-shot API.
+var defaultEngine = sync.OnceValue(func() *Engine { return New() })
 
-// Stats summarizes search effort.
-type Stats struct {
-	Duration      time.Duration
-	Steps         int64
-	States        int64
-	BranchForks   int64
-	SolverQueries int
-}
-
-// Synthesize searches for an execution of prog that reproduces rep.
+// Synthesize searches for an execution of prog that reproduces rep,
+// blocking until the search completes or the budget (Options.Timeout,
+// default DefaultBudget) runs out.
+//
+// Deprecated: use Engine.Synthesize, which adds context cancellation,
+// streaming progress, and cross-request cache reuse. This wrapper
+// delegates to a package-default Engine.
 func Synthesize(prog *Program, rep *BugReport, opt Options) (*Result, error) {
-	if opt.Timeout == 0 {
-		opt.Timeout = 10 * time.Minute
-	}
-	res, err := search.Synthesize(prog.MIR, rep.R, search.Options{
-		Strategy:            opt.Strategy,
-		Timeout:             opt.Timeout,
-		Seed:                opt.Seed,
-		PreemptionBound:     opt.PreemptionBound,
-		WithRaceDetector:    opt.WithRaceDetector,
-		NoProximity:         opt.NoProximity,
-		NoIntermediateGoals: opt.NoIntermediateGoals,
-		NoCriticalEdges:     opt.NoCriticalEdges,
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{
-		TimedOut:  res.TimedOut,
-		OtherBugs: res.OtherBugs,
-		Stats: Stats{
-			Duration:      res.Duration,
-			Steps:         res.Steps,
-			States:        res.StatesCreated,
-			BranchForks:   res.BranchForks,
-			SolverQueries: res.SolverQueries,
+	return defaultEngine().synthesize(context.Background(), prog, rep, search.Options{
+		Strategy:         opt.Strategy,
+		Budget:           opt.Timeout,
+		Seed:             opt.Seed,
+		PreemptionBound:  opt.PreemptionBound,
+		WithRaceDetector: opt.WithRaceDetector,
+		Ablate: Ablate{
+			NoProximity:         opt.NoProximity,
+			NoIntermediateGoals: opt.NoIntermediateGoals,
+			NoCriticalEdges:     opt.NoCriticalEdges,
 		},
-	}
-	if res.Found != nil {
-		ex, err := trace.FromState(res.Found, solver.New())
-		if err != nil {
-			return nil, fmt.Errorf("esd: solving synthesized path: %w", err)
-		}
-		out.Execution = &Execution{E: ex}
-		out.Found = true
-	}
-	return out, nil
+	})
 }
 
 // Execution is a synthesized execution file (§5.1).

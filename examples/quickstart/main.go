@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -84,7 +85,9 @@ func main() {
 	// 3. Execution synthesis: note ESD gets ONLY the program and the
 	// coredump — not the inputs, not the schedule.
 	fmt.Println("synthesizing an execution that explains the coredump...")
-	res, err := esd.Synthesize(prog, rep, esd.Options{Timeout: 60 * time.Second, Seed: 1})
+	eng := esd.New()
+	res, err := eng.Synthesize(context.Background(), prog, rep,
+		esd.WithBudget(60*time.Second), esd.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

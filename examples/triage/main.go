@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -46,15 +47,28 @@ func main() {
 			"dir_seed": 1, "dir_count": 3, "term_width": 80}}},
 	}
 
-	execs := map[string]*esd.Execution{}
+	// The §8 triage workload is exactly what the engine's batch entry
+	// point is for: every ticket shares one compiled program, one set of
+	// distance tables, and the warm solver pool.
+	var reports []*esd.BugReport
 	for _, tk := range tickets {
 		rep, err := esd.SimulateUserSite(prog, tk.in)
 		if err != nil {
 			log.Fatalf("%s: user site: %v", tk.id, err)
 		}
-		res, err := esd.Synthesize(prog, rep, esd.Options{Timeout: 60 * time.Second, Seed: 1})
-		if err != nil {
-			log.Fatal(err)
+		reports = append(reports, rep)
+	}
+	eng := esd.New()
+	results, err := eng.SynthesizeBatch(context.Background(), prog, reports,
+		esd.WithBudget(60*time.Second), esd.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	execs := map[string]*esd.Execution{}
+	for i, tk := range tickets {
+		res := results[i]
+		if res.Err != nil {
+			log.Fatalf("%s: %v", tk.id, res.Err)
 		}
 		if !res.Found {
 			log.Fatalf("%s: synthesis failed", tk.id)

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"esd/internal/report"
+	"esd/internal/usersite"
+)
+
+// condvarSrc models a log-flush daemon with a condition-variable lost
+// wakeup — the missing deadlock class in the corpus: every other hang app
+// is mutex-only, so the graded SyncDistance's treatment of CondWait was
+// never exercised end-to-end. The flusher checks the watermark under the
+// queue lock and parks on the condvar; the submit path publishes work and
+// signals WITHOUT the lock. If the signal lands after the flusher's check
+// but before its wait begins, nobody is waiting yet, the notification is
+// lost, and the flusher sleeps forever — main then hangs in join. The
+// hang needs both the inputs (the batch must be large enough to start
+// the daemon) and a schedule that threads the two-instruction window
+// between check and park.
+const condvarSrc = `
+// condvar.c — scaled model of a log-flush daemon with a lost wakeup.
+
+int q_lock;
+int q_cond;
+int pending;    // published but unflushed entries
+int flushed;
+int dropped;
+
+int wm;         // flush watermark (input)
+int jobs;       // entries the writer publishes (input)
+
+// drain consumes everything published; called with q_lock held.
+int drain() {
+	int got = pending;
+	pending = 0;
+	flushed = flushed + got;
+	return got;
+}
+
+// park blocks until the watermark is reached; called with q_lock held.
+// The watermark check and the wait are only atomic against signalers
+// that also take q_lock — which the submit path below does not.
+int park() {
+	if (pending < wm) {
+		cond_wait(&q_cond, &q_lock);   // <-- the flusher parks here forever
+	}
+	return drain();
+}
+
+int flusher(int arg) {
+	lock(&q_lock);
+	int got = park();
+	unlock(&q_lock);
+	return got;
+}
+
+// submit publishes entries and notifies the flusher. Publishing outside
+// the queue lock is the bug: the signal can fall into the flusher's
+// check-to-wait window and wake nobody.
+int submit(int n) {
+	if (n <= 0) {
+		dropped++;
+		return -1;
+	}
+	pending = pending + n;
+	cond_signal(&q_cond);
+	return n;
+}
+
+int writer(int arg) {
+	return submit(arg);
+}
+
+int main() {
+	wm = input("wm");
+	jobs = input("jobs");
+	if (wm <= 0) {
+		return 0;                      // flushing disabled: no daemon
+	}
+	if (jobs < wm) {
+		dropped = dropped + jobs;      // below the watermark: no batch
+		return 1;
+	}
+	int f = thread_create(flusher, 0);
+	int w = thread_create(writer, jobs);
+	thread_join(w);
+	thread_join(f);
+	return flushed * 10 + dropped;
+}`
+
+var condvarApp = register(&App{
+	Name:          "condvar",
+	Manifestation: "hang",
+	Kind:          report.KindDeadlock,
+	Source:        condvarSrc,
+	UserInputs: &usersite.Inputs{
+		Named: map[string]int64{"wm": 2, "jobs": 5},
+	},
+	Usersite: usersite.Options{Seeds: 40000, PreemptPercent: 45},
+	Description: "Log-flush daemon: the watermark check and the condvar wait are " +
+		"atomic only against signalers that hold the queue lock, but submit " +
+		"publishes and signals without it — a signal in the check-to-wait window " +
+		"is lost and the flusher (then main, in join) hangs forever.",
+})

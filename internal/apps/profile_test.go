@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -23,8 +24,8 @@ func TestProfileLs4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Synthesize(prog, rep, search.Options{
-		Strategy: search.StrategyESD, Timeout: 20 * time.Second, Seed: 1,
+	res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
+		Strategy: search.StrategyESD, Budget: 20 * time.Second, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func TestConcurrencyAppsReplayDeterministically(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthesis + double strict replay of the deadlock apps; skipped with -short")
 	}
-	for _, name := range []string{"pipeline", "logrot", "bank"} {
+	for _, name := range []string{"pipeline", "logrot", "bank", "condvar"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			a := Get(name)
@@ -34,8 +35,8 @@ func TestConcurrencyAppsReplayDeterministically(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := search.Synthesize(prog, rep, search.Options{
-				Strategy: search.StrategyESD, Timeout: 120 * time.Second, Seed: 1,
+			res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
+				Strategy: search.StrategyESD, Budget: 120 * time.Second, Seed: 1,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -106,8 +107,8 @@ func TestSqliteStrictReplayRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Synthesize(prog, rep, search.Options{
-		Strategy: search.StrategyESD, Timeout: 120 * time.Second, Seed: 1,
+	res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
+		Strategy: search.StrategyESD, Budget: 120 * time.Second, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

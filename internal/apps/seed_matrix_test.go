@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -12,7 +13,7 @@ import (
 // graded schedule metric's subjects) plus the fastest crash apps, so the
 // matrix stays well under a minute.
 var seedMatrixApps = []string{
-	"listing1", "ghttpd", "sqlite", "hawknl", "pipeline", "logrot", "bank",
+	"listing1", "ghttpd", "sqlite", "hawknl", "pipeline", "logrot", "bank", "condvar",
 }
 
 // TestSeedMatrixQuickSynthesis runs the quick suite across seeds 1–5.
@@ -39,9 +40,9 @@ func TestSeedMatrixQuickSynthesis(t *testing.T) {
 		}
 		for seed := int64(1); seed <= 5; seed++ {
 			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
-				res, err := search.Synthesize(prog, rep, search.Options{
+				res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 					Strategy: search.StrategyESD,
-					Timeout:  60 * time.Second,
+					Budget:   60 * time.Second,
 					Seed:     seed,
 				})
 				if err != nil {

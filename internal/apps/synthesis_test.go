@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -32,9 +33,9 @@ func TestESDSynthesizesEveryBug(t *testing.T) {
 			// The paper's per-bug budget is 1 hour; 300s is the CI stand-in.
 			// ls4 needs ~110s alone on a 2.1GHz core (solver-bound, see
 			// ROADMAP.md), so 120s flaked whenever packages ran in parallel.
-			res, err := search.Synthesize(prog, rep, search.Options{
+			res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 				Strategy: search.StrategyESD,
-				Timeout:  300 * time.Second,
+				Budget:   300 * time.Second,
 				Seed:     1,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package bpf
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -105,9 +106,9 @@ func TestESDSynthesizesBPFDeadlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := search.Synthesize(prog, rep, search.Options{
+	res, err := search.Synthesize(context.Background(), prog, rep, search.Options{
 		Strategy: search.StrategyESD,
-		Timeout:  120 * time.Second,
+		Budget:   120 * time.Second,
 		Seed:     1,
 	})
 	if err != nil {

@@ -216,6 +216,17 @@ var sharedCalcs = struct {
 	m map[calcKey]*calcEntry
 }{m: map[calcKey]*calcEntry{}}
 
+// Shared-cache traffic counters: a hit is a ForProgram call that found an
+// existing entry (the caller shares tables built by an earlier run —
+// exactly what batch synthesis over one program is supposed to do, and
+// what its tests assert).
+var sharedHits, sharedMisses atomic.Int64
+
+// SharedCacheStats reports cumulative ForProgram cache hits and misses.
+func SharedCacheStats() (hits, misses int64) {
+	return sharedHits.Load(), sharedMisses.Load()
+}
+
 // ForProgram returns a Calculator for cg's program, reusing one built for
 // a structurally identical program in an earlier run when available. The
 // Calculator is safe for concurrent use, so sharing across simultaneous
@@ -233,6 +244,9 @@ func ForProgram(cg *cfa.CallGraph) *Calculator {
 	if ent == nil {
 		ent = &calcEntry{}
 		sharedCalcs.m[key] = ent
+		sharedMisses.Add(1)
+	} else {
+		sharedHits.Add(1)
 	}
 	sharedCalcs.Unlock()
 	ent.once.Do(func() { ent.calc = NewCalculatorWith(cg) })

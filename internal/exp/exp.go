@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -63,7 +64,7 @@ func (o Outcome) String() string {
 }
 
 // runApp measures one synthesis run.
-func runApp(a *apps.App, strat search.Strategy, preemptBound int, cfg Config) (Outcome, error) {
+func runApp(ctx context.Context, a *apps.App, strat search.Strategy, preemptBound int, cfg Config) (Outcome, error) {
 	prog, err := a.Program()
 	if err != nil {
 		return Outcome{}, err
@@ -72,13 +73,16 @@ func runApp(a *apps.App, strat search.Strategy, preemptBound int, cfg Config) (O
 	if err != nil {
 		return Outcome{}, err
 	}
-	res, err := search.Synthesize(prog, rep, search.Options{
+	res, err := search.Synthesize(ctx, prog, rep, search.Options{
 		Strategy:        strat,
-		Timeout:         cfg.Timeout,
+		Budget:          cfg.Timeout,
 		Seed:            cfg.Seed,
 		PreemptionBound: preemptBound,
 	})
 	if err != nil {
+		return Outcome{}, err
+	}
+	if err := cancelled(ctx, res); err != nil {
 		return Outcome{}, err
 	}
 	return Outcome{
@@ -88,6 +92,20 @@ func runApp(a *apps.App, strat search.Strategy, preemptBound int, cfg Config) (O
 		Steps:    res.Steps,
 		States:   res.StatesCreated,
 	}, nil
+}
+
+// cancelled aborts a sweep when a search was cut short by the context:
+// without this, a Ctrl-C mid-table would fabricate "not found in ~0s"
+// rows for every remaining measurement (each subsequent Synthesize
+// returns immediately on the dead context) and print a bogus table.
+func cancelled(ctx context.Context, res *search.Result) error {
+	if !res.Cancelled {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // --- Table 1 ---------------------------------------------------------------
@@ -100,11 +118,11 @@ type Table1Row struct {
 }
 
 // Table1 runs ESD on the eight real-system bugs.
-func Table1(cfg Config) ([]Table1Row, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Table1Row
 	for _, a := range apps.Table1() {
-		out, err := runApp(a, search.StrategyESD, 0, cfg)
+		out, err := runApp(ctx, a, search.StrategyESD, 0, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", a.Name, err)
 		}
@@ -135,19 +153,19 @@ type Fig2Row struct {
 // Figure2 runs the three tools over the Figure 2 bug set (ls1–ls4 plus the
 // Table 1 bugs). KC = our engine with Chess-style preemption bounding (2)
 // and Klee's DFS/RandomPath state selection (§7.2).
-func Figure2(cfg Config) ([]Fig2Row, error) {
+func Figure2(ctx context.Context, cfg Config) ([]Fig2Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Fig2Row
 	for _, a := range apps.Figure2() {
-		esdOut, err := runApp(a, search.StrategyESD, 0, cfg)
+		esdOut, err := runApp(ctx, a, search.StrategyESD, 0, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig2 %s: %w", a.Name, err)
 		}
-		dfsOut, err := runApp(a, search.StrategyDFS, 2, cfg)
+		dfsOut, err := runApp(ctx, a, search.StrategyDFS, 2, cfg)
 		if err != nil {
 			return nil, err
 		}
-		rpOut, err := runApp(a, search.StrategyRandomPath, 2, cfg)
+		rpOut, err := runApp(ctx, a, search.StrategyRandomPath, 2, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +195,7 @@ type Fig3Row struct {
 
 // Figure3 sweeps the BPF configurations (branches 2^4..2^MaxBPFExp, two
 // threads, two locks, all branches input-dependent, one deadlock).
-func Figure3(cfg Config) ([]Fig3Row, error) {
+func Figure3(ctx context.Context, cfg Config) ([]Fig3Row, error) {
 	cfg = cfg.withDefaults()
 	var rows []Fig3Row
 	for _, p := range bpf.StandardConfigs() {
@@ -197,17 +215,23 @@ func Figure3(cfg Config) ([]Fig3Row, error) {
 			return nil, fmt.Errorf("fig3 branches=%d: %w", p.Branches, err)
 		}
 		row := Fig3Row{Branches: p.Branches, KLOC: float64(g.Lines) / 1000}
-		res, err := search.Synthesize(prog, rep, search.Options{
-			Strategy: search.StrategyESD, Timeout: cfg.Timeout, Seed: cfg.Seed,
+		res, err := search.Synthesize(ctx, prog, rep, search.Options{
+			Strategy: search.StrategyESD, Budget: cfg.Timeout, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
+		if err := cancelled(ctx, res); err != nil {
+			return nil, err
+		}
 		row.ESD = Outcome{Found: res.Found != nil, TimedOut: res.TimedOut, Duration: res.Duration, Steps: res.Steps, States: res.StatesCreated}
-		res, err = search.Synthesize(prog, rep, search.Options{
-			Strategy: search.StrategyRandomPath, Timeout: cfg.Timeout, Seed: cfg.Seed, PreemptionBound: 2,
+		res, err = search.Synthesize(ctx, prog, rep, search.Options{
+			Strategy: search.StrategyRandomPath, Budget: cfg.Timeout, Seed: cfg.Seed, PreemptionBound: 2,
 		})
 		if err != nil {
+			return nil, err
+		}
+		if err := cancelled(ctx, res); err != nil {
 			return nil, err
 		}
 		row.KC = Outcome{Found: res.Found != nil, TimedOut: res.TimedOut, Duration: res.Duration, Steps: res.Steps, States: res.StatesCreated}
@@ -244,7 +268,7 @@ type AblationRow struct {
 }
 
 // Ablation runs the four ESD variants on one app.
-func Ablation(appName string, cfg Config) ([]AblationRow, error) {
+func Ablation(ctx context.Context, appName string, cfg Config) ([]AblationRow, error) {
 	cfg = cfg.withDefaults()
 	a := apps.Get(appName)
 	if a == nil {
@@ -263,24 +287,28 @@ func Ablation(appName string, cfg Config) ([]AblationRow, error) {
 		opt  search.Options
 	}{
 		{"full ESD", search.Options{}},
-		{"no proximity", search.Options{NoProximity: true}},
-		{"no intermediate goals", search.Options{NoIntermediateGoals: true}},
-		{"no critical-edge pruning", search.Options{NoCriticalEdges: true}},
+		{"no proximity", search.Options{Ablate: search.Ablate{NoProximity: true}}},
+		{"no intermediate goals", search.Options{Ablate: search.Ablate{NoIntermediateGoals: true}}},
+		{"no critical-edge pruning", search.Options{Ablate: search.Ablate{NoCriticalEdges: true}}},
 		// The §4.1 schedule-distance ablation: collapse the graded
 		// sync-distance metric back to the original near/far bit (and the
 		// policies back to exact goal-site matching). On sequential apps
 		// this ties full ESD; on deadlocks it shows what the gradation buys.
-		{"binary sched-distance", search.Options{BinarySchedDist: true}},
-		{"all disabled", search.Options{NoProximity: true, NoIntermediateGoals: true, NoCriticalEdges: true}},
+		{"binary sched-distance", search.Options{Ablate: search.Ablate{BinarySchedDist: true}}},
+		{"all disabled", search.Options{Ablate: search.Ablate{
+			NoProximity: true, NoIntermediateGoals: true, NoCriticalEdges: true}}},
 	}
 	var rows []AblationRow
 	for _, v := range variants {
 		opt := v.opt
 		opt.Strategy = search.StrategyESD
-		opt.Timeout = cfg.Timeout
+		opt.Budget = cfg.Timeout
 		opt.Seed = cfg.Seed
-		res, err := search.Synthesize(prog, rep, opt)
+		res, err := search.Synthesize(ctx, prog, rep, opt)
 		if err != nil {
+			return nil, err
+		}
+		if err := cancelled(ctx, res); err != nil {
 			return nil, err
 		}
 		rows = append(rows, AblationRow{Variant: v.name, Outcome: Outcome{
@@ -310,7 +338,7 @@ type StressResult struct {
 
 // Stress runs each Table 1 app under random inputs and schedules (no
 // guidance) and counts reproductions — the paper reports zero.
-func Stress(runs int, cfg Config) ([]StressResult, error) {
+func Stress(ctx context.Context, runs int, cfg Config) ([]StressResult, error) {
 	cfg = cfg.withDefaults()
 	if runs == 0 {
 		runs = 300
@@ -327,6 +355,9 @@ func Stress(runs int, cfg Config) ([]StressResult, error) {
 		}
 		hit := 0
 		for seed := int64(0); seed < int64(runs); seed++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			in := randomInputs(a, seed)
 			st, err := usersite.RunOnce(prog, in, usersite.Options{PreemptPercent: 40}, seed)
 			if err != nil {

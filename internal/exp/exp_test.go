@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -17,7 +18,7 @@ func TestTable1AllFound(t *testing.T) {
 	if testing.Short() {
 		t.Skip("synthesizes all 8 Table-1 bugs; skipped with -short")
 	}
-	rows, err := Table1(quick())
+	rows, err := Table1(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestFigure3SmallSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("BPF synthesis sweep; skipped with -short")
 	}
-	rows, err := Figure3(quick())
+	rows, err := Figure3(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestFigure3SmallSweep(t *testing.T) {
 }
 
 func TestAblationRuns(t *testing.T) {
-	rows, err := Ablation("listing1", quick())
+	rows, err := Ablation(context.Background(), "listing1", quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestAblationRuns(t *testing.T) {
 }
 
 func TestStressFindsNothing(t *testing.T) {
-	rows, err := Stress(30, quick())
+	rows, err := Stress(context.Background(), 30, quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestStressFindsNothing(t *testing.T) {
 }
 
 func TestUnknownAblationApp(t *testing.T) {
-	if _, err := Ablation("nope", quick()); err == nil {
+	if _, err := Ablation(context.Background(), "nope", quick()); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // This file implements the hash-consing layer: every term is interned in a
@@ -28,6 +29,17 @@ type internShard struct {
 var shards [internShards]internShard
 
 var nextExprID atomic.Uint64
+
+// Footprint counters, maintained at intern time so snapshots are O(1):
+// a service polls these per request and per health probe, and walking
+// every shard chain under its lock there would stall concurrent interning.
+var (
+	termCount atomic.Int64
+	nameCount atomic.Int64
+	byteCount atomic.Int64
+)
+
+const exprNodeSize = int64(unsafe.Sizeof(Expr{}))
 
 // intern returns the canonical node for the given shape, creating and
 // publishing it if it is new. Children must already be interned, so the
@@ -63,6 +75,10 @@ func intern(op Op, c int64, name string, a, b, t, f *Expr) *Expr {
 	}
 	sh.m[h] = append(sh.m[h], e)
 	sh.mu.Unlock()
+	termCount.Add(1)
+	// Name bytes are counted by internName: every OpVar's name string is
+	// interned there and shares its backing array with Expr.Name.
+	byteCount.Add(exprNodeSize)
 	return e
 }
 
@@ -122,6 +138,35 @@ func InternedNodes() int {
 	return n
 }
 
+// Stats is a point-in-time snapshot of the interner's footprint. The
+// table is append-only for the process lifetime (see the package comment
+// on hash-consing), so in a long-lived service these numbers only grow;
+// exposing them is what makes that growth observable before epoch GC or
+// weak interning lands.
+type Stats struct {
+	// Terms is the number of live interned terms.
+	Terms int `json:"terms"`
+	// Names is the number of distinct variable names interned.
+	Names int `json:"names"`
+	// Bytes estimates the retained heap of the terms themselves: node
+	// structs plus variable-name storage (table slot overhead excluded).
+	Bytes int64 `json:"bytes"`
+	// Shards is the fixed shard count of the intern table.
+	Shards int `json:"shards"`
+}
+
+// InternerStats snapshots the global interner. O(1): the counters are
+// maintained at intern time, so per-request and health-probe polling
+// never touches the shard locks.
+func InternerStats() Stats {
+	return Stats{
+		Terms:  int(termCount.Load()),
+		Names:  int(nameCount.Load()),
+		Bytes:  byteCount.Load(),
+		Shards: internShards,
+	}
+}
+
 // --- Variable name table ----------------------------------------------------
 
 // nameTab interns variable names to dense int32 IDs so var-sets are sorted
@@ -147,6 +192,8 @@ func internName(s string) int32 {
 	id = int32(len(nameTab.names))
 	nameTab.names = append(nameTab.names, s)
 	nameTab.ids[s] = id
+	nameCount.Add(1)
+	byteCount.Add(int64(len(s)))
 	return id
 }
 

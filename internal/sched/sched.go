@@ -63,6 +63,35 @@ type DeadlockPolicy struct {
 	SnapshotsActivated int
 	EagerForks         int
 	Preemptions        int
+
+	// Goal sites split by opcode (resolved lazily from the program):
+	// mutex-acquisition goals drive the §4.1 snapshot/rollback machinery,
+	// condvar wait goals drive the lost-wakeup decision point, and other
+	// blocked sites (thread_join of a hung thread) steer neither — a join
+	// site is reached by finishing work, not by winning a lock race.
+	classified bool
+	lockGoals  []mir.Loc
+	waitGoals  []mir.Loc
+}
+
+// classifyGoals resolves each goal's opcode once per policy.
+func (p *DeadlockPolicy) classifyGoals(prog *mir.Program) {
+	if p.classified {
+		return
+	}
+	p.classified = true
+	for _, g := range p.Goals {
+		in := prog.InstrAt(g)
+		if in == nil {
+			continue
+		}
+		switch in.Op {
+		case mir.MutexLock:
+			p.lockGoals = append(p.lockGoals, g)
+		case mir.CondWait:
+			p.waitGoals = append(p.waitGoals, g)
+		}
+	}
 }
 
 const (
@@ -72,13 +101,30 @@ const (
 
 var _ symex.Policy = (*DeadlockPolicy)(nil)
 
-func (p *DeadlockPolicy) isGoalSite(loc mir.Loc) bool {
-	for _, g := range p.Goals {
+func (p *DeadlockPolicy) isLockGoalSite(loc mir.Loc) bool {
+	for _, g := range p.lockGoals {
 		if g == loc {
 			return true
 		}
 	}
 	return false
+}
+
+// eagerLimit resolves the per-lineage eager-fork budget: about one
+// deferred acquisition per deadlock party.
+func (p *DeadlockPolicy) eagerLimit() int {
+	if p.MaxEagerForks != 0 {
+		return p.MaxEagerForks
+	}
+	return len(p.Goals) + 1
+}
+
+// rollbackLimit resolves the per-lineage preemption/rollback budget.
+func (p *DeadlockPolicy) rollbackLimit() int {
+	if p.MaxRollbacks != 0 {
+		return p.MaxRollbacks
+	}
+	return defaultMaxRollbacks
 }
 
 // radius resolves the effective activation radius.
@@ -93,14 +139,17 @@ func (p *DeadlockPolicy) radius() int64 {
 }
 
 // goalSyncDist is the graded inner-lock test: the smallest number of sync
-// operations between loc and a goal lock site (0 when loc is itself a
-// goal). A thread that acquired a mutex at a site with a small value
-// plausibly holds an outer lock of the deadlock.
+// operations between loc and a goal *lock* site (0 when loc is itself
+// one). A thread that acquired a mutex at a site with a small value
+// plausibly holds an outer lock of the deadlock. Non-acquisition goals
+// (condvar waits, joins) deliberately do not participate: holding a mutex
+// "near" a wait site does not make a thread a cycle party, and preempting
+// it there starves the wait it must reach (see beforeCondWait).
 func (p *DeadlockPolicy) goalSyncDist(loc mir.Loc) int64 {
-	if p.isGoalSite(loc) {
+	if p.isLockGoalSite(loc) {
 		return 0
 	}
-	return minSyncDist(p.Dist, []mir.Loc{loc}, p.Goals)
+	return minSyncDist(p.Dist, []mir.Loc{loc}, p.lockGoals)
 }
 
 // minSyncDist is the smallest §4.1 sync-operation distance from stack to
@@ -118,8 +167,13 @@ func minSyncDist(calc *dist.Calculator, stack []mir.Loc, goals []mir.Loc) int64 
 	return best
 }
 
-// BeforeSync implements the §4.1 algorithm at mutex-acquisition sites.
+// BeforeSync implements the §4.1 algorithm at mutex-acquisition sites,
+// extended to condition-variable wait sites for lost-wakeup deadlocks.
 func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.Instr) []*symex.State {
+	p.classifyGoals(e.Prog)
+	if in.Op == mir.CondWait {
+		return p.beforeCondWait(e, st)
+	}
 	if in.Op != mir.MutexLock {
 		return nil
 	}
@@ -127,10 +181,7 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 	if !ok {
 		return nil
 	}
-	limit := p.MaxRollbacks
-	if limit == 0 {
-		limit = defaultMaxRollbacks
-	}
+	limit := p.rollbackLimit()
 	m := st.Mutexes[key]
 	if m == nil || m.Holder == -1 {
 		// The mutex is free: the current thread will acquire it. Take the
@@ -149,12 +200,8 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 			// these alternatives: no single rollback reconstructs them.
 			// The fork enters the search scored by the site's graded
 			// distance, so nearer decision points are explored first.
-			eagerLimit := p.MaxEagerForks
-			if eagerLimit == 0 {
-				eagerLimit = len(p.Goals) + 1
-			}
 			if d := p.goalSyncDist(st.Loc()); p.Dist != nil && d <= p.radius() &&
-				st.Preemptions < limit && st.EagerForks < eagerLimit {
+				st.Preemptions < limit && st.EagerForks < p.eagerLimit() {
 				alt := e.ForkState(snap)
 				alt.SchedDist = d
 				alt.Preemptions = st.Preemptions + 1
@@ -191,6 +238,44 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 	return nil
 }
 
+// beforeCondWait is the §4.1 decision point generalized to condition
+// variables: a thread about to park at (or within the activation radius
+// of) a goal wait site may need to be held back so the notifying thread
+// runs first — that ordering is exactly the lost-wakeup deadlock, where
+// the condition was checked under the lock but the signal fires before
+// the wait begins and nobody is ever woken. The fork defers the wait (the
+// pending CondWait executes when the thread is next scheduled) while a
+// sync-distance-ranked alternative thread proceeds; no single rollback
+// reconstructs this ordering because the parked thread never unblocks.
+func (p *DeadlockPolicy) beforeCondWait(e *symex.Engine, st *symex.State) []*symex.State {
+	if p.Dist == nil || len(p.waitGoals) == 0 || len(st.RunnableThreads()) <= 1 {
+		return nil
+	}
+	loc := st.Loc()
+	d := minSyncDist(p.Dist, []mir.Loc{loc}, p.waitGoals)
+	for _, g := range p.waitGoals {
+		if g == loc {
+			d = 0 // the exact-site fast path, as in goalSyncDist
+		}
+	}
+	// Same gates as the mutex-path eager fork: the graded radius, the
+	// eager-fork budget, and the lineage's preemption/rollback bound
+	// (preemptCurrent below spends a preemption).
+	if d > p.radius() || st.EagerForks >= p.eagerLimit() || st.Preemptions >= p.rollbackLimit() {
+		return nil
+	}
+	alt := e.ForkState(st)
+	p.preemptCurrent(alt)
+	if alt.Cur == st.Cur {
+		// No other thread could be scheduled: the fork explores nothing.
+		return nil
+	}
+	alt.SchedDist = d
+	alt.EagerForks = st.EagerForks + 1
+	p.EagerForks++
+	return []*symex.State{alt}
+}
+
 // AfterSync preempts a thread right after it acquires its inner (goal)
 // lock or a lock within the activation radius of one — keeping the lock
 // held so another thread can come ask for it — and maintains the K_S map:
@@ -198,6 +283,7 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 // distance is the acquisition site's sync distance to the goals: 0 for an
 // inner lock held, small for an outer lock held just before it.
 func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Instr, key symex.MutexKey) {
+	p.classifyGoals(e.Prog)
 	switch in.Op {
 	case mir.MutexUnlock:
 		// A free mutex cannot be part of a deadlock (§4.1).

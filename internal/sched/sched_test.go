@@ -146,6 +146,9 @@ func TestGradedPolicyFindsBuriedABBA(t *testing.T) {
 	}
 	calc := dist.NewCalculator(prog)
 	p := &DeadlockPolicy{Goals: goals, Dist: calc}
+	// The policy hooks classify lazily from the engine's program; probing
+	// goalSyncDist directly needs the same resolution up front.
+	p.classifyGoals(prog)
 
 	// The graded inner-lock test sees the buried structure: the outer
 	// acquisition sites are 1 sync op from the goals, within the default

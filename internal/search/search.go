@@ -16,6 +16,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -54,11 +56,29 @@ func (s Strategy) String() string {
 	return "?"
 }
 
-// Options tunes a synthesis run.
+// Ablate disables individual search-focusing techniques (the §7.3
+// ablation study). The zero value runs full ESD.
+type Ablate struct {
+	// NoProximity disables the distance heuristic entirely: queues become
+	// FIFO and the Infinite-distance pruning gate is skipped.
+	NoProximity         bool
+	NoIntermediateGoals bool // only final goals get queues
+	NoCriticalEdges     bool // disable static pruning
+	// BinarySchedDist collapses the graded §4.1 sync-distance metric back
+	// to the original near/far bit (policy-scored states near, everything
+	// else one undifferentiated far band) — the schedule-distance ablation.
+	BinarySchedDist bool
+}
+
+// Options is the canonical synthesis-tuning record: the public esd.Engine
+// API, the experiment harness, and the CLIs all speak this one type (the
+// pre-Engine API copied three parallel structs field by field).
 type Options struct {
 	Strategy Strategy
-	// Timeout bounds wall-clock time (0 = no limit).
-	Timeout time.Duration
+	// Budget bounds wall-clock time (0 = no limit; cancellation is then
+	// entirely up to the context). The public API resolves 0 to the
+	// engine's DefaultBudget before it gets here.
+	Budget time.Duration
 	// MaxSteps bounds total executed instructions (0 = default 50M).
 	MaxSteps int64
 	// Quantum is the number of instructions a picked state runs before the
@@ -77,16 +97,81 @@ type Options struct {
 	// (the --with-race-det flag of §8).
 	WithRaceDetector bool
 
-	// Ablations (§7.3 analysis of the three focusing techniques).
-	// NoProximity disables the distance heuristic entirely: queues become
-	// FIFO and the Infinite-distance pruning gate is skipped.
-	NoProximity         bool
-	NoIntermediateGoals bool // only final goals get queues
-	NoCriticalEdges     bool // disable static pruning
-	// BinarySchedDist collapses the graded §4.1 sync-distance metric back
-	// to the original near/far bit (policy-scored states near, everything
-	// else one undifferentiated far band) — the schedule-distance ablation.
-	BinarySchedDist bool
+	// Ablate disables individual focusing techniques (§7.3).
+	Ablate Ablate
+
+	// Solver, when non-nil, is used instead of a fresh solver. Passing a
+	// warm solver shares its memoized query cache across runs (terms are
+	// globally interned, so cached entries are valid for any program). A
+	// Solver is not safe for concurrent use: callers hand each concurrent
+	// search its own.
+	Solver *solver.Solver
+
+	// OnProgress, when set, receives phase transitions and periodic
+	// search-progress snapshots. It is called synchronously from the
+	// search loop: implementations must be fast and must not call back
+	// into the search.
+	OnProgress func(ProgressEvent)
+	// BatchWorkers caps the engine's batch worker pool for one
+	// SynthesizeBatch call (0 = the engine default). The search itself
+	// ignores it; it rides in the canonical options record so every layer
+	// speaks one type.
+	BatchWorkers int
+	// ProgressInterval is the minimum spacing of periodic progress events
+	// (default 250ms). Phase transitions are always delivered.
+	ProgressInterval time.Duration
+}
+
+// Phase identifies where in the synthesis pipeline a ProgressEvent was
+// emitted.
+type Phase int
+
+// Synthesis phases. The search emits Analyze and Search; the public
+// engine adds Solve (concretizing the found path) and Done.
+const (
+	PhaseAnalyze Phase = iota
+	PhaseSearch
+	PhaseSolve
+	PhaseDone
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseAnalyze:
+		return "analyze"
+	case PhaseSearch:
+		return "search"
+	case PhaseSolve:
+		return "solve"
+	case PhaseDone:
+		return "done"
+	}
+	return "?"
+}
+
+// ProgressEvent is one streaming progress snapshot of a synthesis run.
+type ProgressEvent struct {
+	// Phase is the pipeline stage; a phase's first event marks its
+	// transition.
+	Phase Phase
+	// Report is the index of the report within a batch (0 outside
+	// batches; set by the batch driver, not the search).
+	Report int
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Steps and States are the engine's cumulative work counters.
+	Steps  int64
+	States int64
+	// Live is the frontier size (live states in the pool).
+	Live int
+	// Depth is the deepest path explored so far, in executed instructions.
+	Depth int64
+	// BestDist is the lowest combined fitness (schedule-weighted distance
+	// to a final goal) seen so far; dist.Infinite until a state is scored.
+	BestDist int64
+	// SolverQueries counts satisfiability queries issued so far.
+	SolverQueries int
 }
 
 // Result is the outcome of a synthesis run.
@@ -94,9 +179,12 @@ type Result struct {
 	// Found is the synthesized failing state matching the report (nil if
 	// none found within budget).
 	Found *symex.State
-	// TimedOut distinguishes budget exhaustion from search-space
-	// exhaustion.
+	// TimedOut distinguishes budget exhaustion (wall-clock budget or a
+	// context deadline) from search-space exhaustion.
 	TimedOut bool
+	// Cancelled reports that the context was cancelled mid-search (as
+	// opposed to the budget running out or the space being exhausted).
+	Cancelled bool
 
 	Duration      time.Duration
 	Steps         int64
@@ -120,14 +208,21 @@ type Result struct {
 	// IntermediateGoalSets is the number of goal sets the static phase
 	// produced (reported for the evaluation).
 	IntermediateGoalSets int
-	// SnapshotsTaken/SnapshotsActivated report the deadlock policy's K_S
-	// activity (diagnostics).
+	// SnapshotsTaken/SnapshotsActivated/EagerForks report the deadlock
+	// policy's K_S and decision-point activity (diagnostics).
 	SnapshotsTaken     int
 	SnapshotsActivated int
+	EagerForks         int
 }
 
-// Synthesize searches for an execution of prog matching rep.
-func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, error) {
+// Synthesize searches for an execution of prog matching rep. The context
+// cancels the search promptly (mid-quantum: the VM checks it on a short
+// step cadence); a context deadline is reported as TimedOut, an explicit
+// cancellation as Cancelled.
+func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 50_000_000
 	}
@@ -137,6 +232,17 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 8192
 	}
+	if opts.ProgressInterval == 0 {
+		opts.ProgressInterval = 250 * time.Millisecond
+	}
+
+	start := time.Now()
+	emit := func(ph Phase, live int) {
+		if opts.OnProgress != nil {
+			opts.OnProgress(ProgressEvent{Phase: ph, Elapsed: time.Since(start), Live: live})
+		}
+	}
+	emit(PhaseAnalyze, 0)
 
 	goals := rep.Goals()
 	if len(goals) == 0 {
@@ -152,8 +258,13 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 		analyses = append(analyses, a)
 	}
 
-	sol := solver.New()
+	sol := opts.Solver
+	if sol == nil {
+		sol = solver.New()
+	}
+	baseQueries, baseHits := sol.Queries, sol.CacheHits
 	eng := symex.New(prog, sol)
+	eng.Ctx = ctx
 	calc := dist.ForProgram(cg)
 
 	var detector *race.Detector
@@ -166,7 +277,7 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 	// virtual-queue ordering below. The BinarySchedDist ablation withholds
 	// it so the policies fall back to the original near/far behavior.
 	var polCalc *dist.Calculator
-	if !opts.BinarySchedDist {
+	if !opts.Ablate.BinarySchedDist {
 		polCalc = calc
 	}
 	switch {
@@ -184,7 +295,7 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 	// Build the goal queues: one per intermediate goal set, one per final
 	// goal (§3.4).
 	var queueGoals [][]mir.Loc
-	if !opts.NoIntermediateGoals {
+	if !opts.Ablate.NoIntermediateGoals {
 		for _, a := range analyses {
 			queueGoals = append(queueGoals, a.IntermediateGoals...)
 		}
@@ -196,6 +307,7 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 
 	s := &searcher{
 		opts:     opts,
+		ctx:      ctx,
 		prog:     prog,
 		rep:      rep,
 		eng:      eng,
@@ -205,37 +317,44 @@ func Synthesize(prog *mir.Program, rep *report.Report, opts Options) (*Result, e
 		schedGuided: calc.HasSync() &&
 			(rep.Kind == report.KindDeadlock || rep.Kind == report.KindRace),
 		queueGoals: queueGoals,
+		finalStart: nInter,
 		finalGoals: goals,
 		rng:        rand.New(rand.NewSource(opts.Seed + 1)),
+		bestFit:    dist.Infinite,
+		start:      start,
+		solBase:    baseQueries,
 	}
 
 	res := &Result{IntermediateGoalSets: nInter, Terminals: map[symex.StateStatus]int64{}}
-	start := time.Now()
 	init, err := eng.InitialState()
 	if err != nil {
 		return nil, err
 	}
-	found, timedOut := s.run(init, start, res)
+	emit(PhaseSearch, 1)
+	found, timedOut, cancelled := s.run(init, res)
 	res.Found = found
 	res.TimedOut = timedOut
+	res.Cancelled = cancelled
 	res.Duration = time.Since(start)
 	res.Steps = eng.Stats.Steps
 	res.StatesCreated = eng.Stats.States
 	res.BranchForks = eng.Stats.BranchForks
-	res.SolverQueries = sol.Queries
-	res.SolverHits = sol.CacheHits
+	res.SolverQueries = sol.Queries - baseQueries
+	res.SolverHits = sol.CacheHits - baseHits
 	if detector != nil {
 		res.RaceFindings = detector.Findings
 	}
 	if dp, ok := eng.Policy.(*sched.DeadlockPolicy); ok {
 		res.SnapshotsTaken = dp.SnapshotsTaken
 		res.SnapshotsActivated = dp.SnapshotsActivated
+		res.EagerForks = dp.EagerForks
 	}
 	return res, nil
 }
 
 type searcher struct {
 	opts     Options
+	ctx      context.Context
 	prog     *mir.Program
 	rep      *report.Report
 	eng      *symex.Engine
@@ -251,8 +370,21 @@ type searcher struct {
 	// shedding decisions).
 	schedGuided bool
 	queueGoals  [][]mir.Loc
-	finalGoals  []mir.Loc
-	rng         *rand.Rand
+	// finalStart is the index of the first final-goal queue in queueGoals
+	// (the preceding queues belong to intermediate goals).
+	finalStart int
+	finalGoals []mir.Loc
+	rng        *rand.Rand
+
+	// Progress-stream bookkeeping: run start, last periodic emission,
+	// best (lowest) final-goal fitness scored, deepest path explored, and
+	// the warm solver's pre-run query count (events report this run's
+	// delta, matching the final Result numbers).
+	start        time.Time
+	lastProgress time.Time
+	bestFit      int64
+	maxDepth     int64
+	solBase      int
 
 	// pool is the set of live states. For DFS/RandomPath it is used as an
 	// ordered slice; for ESD, states additionally sit in the per-goal
@@ -319,26 +451,69 @@ func (h *stateHeap) pop() (heapEntry, bool) {
 	return top, true
 }
 
-func (s *searcher) run(init *symex.State, start time.Time, res *Result) (*symex.State, bool) {
+// run drives the search to one of four outcomes: found, space exhausted,
+// timed out (budget or context deadline), or cancelled.
+func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled bool) {
 	s.alive = map[*symex.State]bool{}
 	s.heaps = make([]stateHeap, len(s.queueGoals))
 	s.insert(init)
 	for len(s.alive) > 0 {
-		if s.budgetExceeded(start) {
-			return nil, true
+		now := time.Now()
+		if err := s.ctx.Err(); err != nil {
+			timedOut, cancelled = classifyCtxErr(err)
+			return nil, timedOut, cancelled
 		}
+		if s.budgetExceeded(now) {
+			return nil, true, false
+		}
+		s.maybeProgress(now)
 		st := s.pick()
 		if st == nil {
-			return nil, false
+			return nil, false, false
 		}
-		if found := s.quantum(st, res); found != nil {
-			return found, false
+		found, err := s.quantum(st, res)
+		if err != nil {
+			// The VM observed the context mid-quantum (the prompt-
+			// cancellation path for long quanta and solver-heavy steps).
+			timedOut, cancelled = classifyCtxErr(s.ctx.Err())
+			return nil, timedOut, cancelled
+		}
+		if found != nil {
+			return found, false, false
 		}
 		if len(s.alive) > s.opts.MaxStates {
 			s.shedStates()
 		}
 	}
-	return nil, false
+	return nil, false, false
+}
+
+// classifyCtxErr maps a context error onto the result flags: deadlines are
+// budget exhaustion, everything else is an explicit cancellation.
+func classifyCtxErr(err error) (timedOut, cancelled bool) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true, false
+	}
+	return false, true
+}
+
+// maybeProgress emits a periodic PhaseSearch snapshot, rate-limited to one
+// per ProgressInterval.
+func (s *searcher) maybeProgress(now time.Time) {
+	if s.opts.OnProgress == nil || now.Sub(s.lastProgress) < s.opts.ProgressInterval {
+		return
+	}
+	s.lastProgress = now
+	s.opts.OnProgress(ProgressEvent{
+		Phase:         PhaseSearch,
+		Elapsed:       now.Sub(s.start),
+		Steps:         s.eng.Stats.Steps,
+		States:        s.eng.Stats.States,
+		Live:          len(s.alive),
+		Depth:         s.maxDepth,
+		BestDist:      s.bestFit,
+		SolverQueries: s.sol.Queries - s.solBase,
+	})
 }
 
 // insert adds a live state to the pool and every virtual queue. The
@@ -347,10 +522,17 @@ func (s *searcher) run(init *symex.State, start time.Time, res *Result) (*symex.
 // insertion and shared across the per-queue keys.
 func (s *searcher) insert(st *symex.State) {
 	s.alive[st] = true
+	if st.Steps > s.maxDepth {
+		s.maxDepth = st.Steps
+	}
 	if s.opts.Strategy == StrategyESD {
 		sched := s.schedDistance(st)
 		for q := range s.queueGoals {
-			s.heaps[q].push(heapEntry{st: st, key: s.esdKey(st, s.queueGoals[q], sched)})
+			key := s.esdKey(st, s.queueGoals[q], sched)
+			if q >= s.finalStart && key.fit < s.bestFit {
+				s.bestFit = key.fit
+			}
+			s.heaps[q].push(heapEntry{st: st, key: key})
 		}
 		if s.schedGuided {
 			// Only schedule-guided searches drain the aging FIFO; feeding
@@ -367,8 +549,8 @@ func (s *searcher) remove(st *symex.State) {
 	delete(s.alive, st)
 }
 
-func (s *searcher) budgetExceeded(start time.Time) bool {
-	if s.opts.Timeout > 0 && time.Since(start) > s.opts.Timeout {
+func (s *searcher) budgetExceeded(now time.Time) bool {
+	if s.opts.Budget > 0 && now.Sub(s.start) > s.opts.Budget {
 		return true
 	}
 	return s.eng.Stats.Steps > s.opts.MaxSteps
@@ -491,7 +673,7 @@ func combineFitness(dataD, syncD int64) int64 {
 
 func (s *searcher) esdKey(st *symex.State, goalSet []mir.Loc, sched int64) esdKey {
 	d := int64(0)
-	if !s.opts.NoProximity {
+	if !s.opts.Ablate.NoProximity {
 		d = s.stateDistance(st, goalSet)
 	}
 	return esdKey{fit: combineFitness(d, sched), id: st.ID}
@@ -520,7 +702,7 @@ func (s *searcher) esdKey(st *symex.State, goalSet []mir.Loc, sched int64) esdKe
 // multi-party cycle. The BinarySchedDist ablation restores the historical
 // behavior: the policy's bit (0 = near) and one undifferentiated far band.
 func (s *searcher) schedDistance(st *symex.State) int64 {
-	if s.opts.BinarySchedDist {
+	if s.opts.Ablate.BinarySchedDist {
 		if st.SchedDist == 0 {
 			return 0
 		}
@@ -599,36 +781,40 @@ func (s *searcher) stateDistance(st *symex.State, goalSet []mir.Loc) int64 {
 
 // quantum runs st for up to Quantum instructions, absorbing forks into the
 // pool. It returns a state matching the report if one terminates this
-// quantum.
-func (s *searcher) quantum(st *symex.State, res *Result) *symex.State {
+// quantum, and a non-nil error only when the VM observed the cancelled
+// context (every other engine error abandons the state in place).
+func (s *searcher) quantum(st *symex.State, res *Result) (*symex.State, error) {
 	for i := 0; i < s.opts.Quantum; i++ {
 		succ, err := s.eng.Step(st)
 		if err != nil {
+			if errors.Is(err, symex.ErrInterrupted) {
+				return nil, err
+			}
 			// Engine-level errors abandon the state (they indicate an
 			// internal inconsistency, not a program failure).
 			res.StepErrors++
-			return nil
+			return nil, nil
 		}
 		if len(succ) == 0 {
-			return nil
+			return nil, nil
 		}
 		// succ[0] is st (possibly terminal); the rest are forks.
 		for _, f := range succ[1:] {
 			if done := s.admit(f, res); done != nil {
-				return done
+				return done, nil
 			}
 		}
 		st = succ[0]
 		if st.Status != symex.StateRunning {
-			return s.terminal(st, res)
+			return s.terminal(st, res), nil
 		}
 	}
 	if s.prunable(st) {
 		res.Pruned++
-		return nil // statically cannot reach the goal: abandon (§3.2)
+		return nil, nil // statically cannot reach the goal: abandon (§3.2)
 	}
 	s.insert(st)
-	return nil
+	return nil, nil
 }
 
 // admit inserts a freshly forked state into the pool (or classifies it if
@@ -669,7 +855,7 @@ func (s *searcher) terminal(st *symex.State, res *Result) *symex.State {
 // prunable implements critical-edge path abandonment: a state none of
 // whose threads can still reach some goal is dead (§3.2, §3.3).
 func (s *searcher) prunable(st *symex.State) bool {
-	if s.opts.NoCriticalEdges || s.opts.Strategy != StrategyESD {
+	if s.opts.Ablate.NoCriticalEdges || s.opts.Strategy != StrategyESD {
 		return false
 	}
 	// Deadlock schedule synthesis deliberately runs threads PAST their
@@ -700,7 +886,7 @@ func (s *searcher) prunable(st *symex.State) bool {
 	// (a thread stuck below a frame that can never return is dead even when
 	// its blocks look goal-reaching). Gated on NoProximity so the §7.3
 	// ablation really runs without any distance information.
-	if s.opts.NoProximity {
+	if s.opts.Ablate.NoProximity {
 		return false
 	}
 	for _, g := range s.finalGoals {

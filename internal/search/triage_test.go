@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -75,7 +76,7 @@ int main() {
 	t3Locks := lockSites(prog, "t3fn")
 
 	real := report.SuspectedDeadlock("triage.c", []mir.Loc{t1Locks[1], t2Locks[1]})
-	res, err := Synthesize(prog, real, Options{Strategy: StrategyESD, Timeout: 60 * time.Second, Seed: 1})
+	res, err := Synthesize(context.Background(), prog, real, Options{Strategy: StrategyESD, Budget: 60 * time.Second, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ int main() {
 	}
 
 	fp := report.SuspectedDeadlock("triage.c", []mir.Loc{t1Locks[1], t3Locks[1]})
-	res, err = Synthesize(prog, fp, Options{Strategy: StrategyESD, Timeout: 10 * time.Second, Seed: 1})
+	res, err = Synthesize(context.Background(), prog, fp, Options{Strategy: StrategyESD, Budget: 10 * time.Second, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ int main() {
 	t2Locks := lockSites(progBuggy, "t2fn")
 	rep := report.SuspectedDeadlock("patch.c", []mir.Loc{t1Locks[1], t2Locks[1]})
 
-	res, err := Synthesize(progBuggy, rep, Options{Strategy: StrategyESD, Timeout: 60 * time.Second, Seed: 1})
+	res, err := Synthesize(context.Background(), progBuggy, rep, Options{Strategy: StrategyESD, Budget: 60 * time.Second, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ int main() {
 	}
 
 	progPatched := lang.MustCompile("patch.c", patched)
-	res, err = Synthesize(progPatched, rep, Options{Strategy: StrategyESD, Timeout: 10 * time.Second, Seed: 1})
+	res, err = Synthesize(context.Background(), progPatched, rep, Options{Strategy: StrategyESD, Budget: 10 * time.Second, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

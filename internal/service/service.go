@@ -1,0 +1,532 @@
+// Package service is the HTTP/JSON front-end of the esd Engine — the
+// esdserve deployment artifact. It exposes compile, one-shot synthesis
+// (optionally with SSE progress streaming), batch synthesis, and a health
+// endpoint that surfaces the engine's shared-cache and interner footprint.
+//
+// Endpoints:
+//
+//	POST /compile    {"name": "...", "source": "..."}
+//	                 -> {"program_id": "...", "instrs": N}
+//	POST /synthesize {"program_id" | "source"+"name" | "app", "report": {...},
+//	                  "budget_ms", "seed", "strategy", "preemption_bound",
+//	                  "race_detector", "stream"}
+//	                 -> result JSON, or an SSE stream of "progress" events
+//	                    followed by one "result" event when "stream" is true
+//	                    (or the request Accepts text/event-stream)
+//	POST /batch      {"program_id" | ..., "reports": [{...}, ...], ...}
+//	                 -> {"results": [...]}
+//	GET  /healthz    -> {"status": "ok", "uptime_ms", "capacity", "active",
+//	                     "engine": {...}, "interner": {...}}
+//
+// Synthesis and batch requests are admission-controlled by a concurrency
+// limit (429 + Retry-After when saturated) and budget-capped per request.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"esd"
+	"esd/internal/apps"
+	"esd/internal/expr"
+	"esd/internal/report"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// DefaultBudget is applied to requests that do not set budget_ms
+	// (default 60s — a service should answer, not sit on the paper's
+	// 10-minute debugging budget).
+	DefaultBudget time.Duration
+	// MaxBudget caps requested budgets (default 10m).
+	MaxBudget time.Duration
+	// MaxConcurrent bounds simultaneously running syntheses; requests
+	// beyond it get 429 (default 4).
+	MaxConcurrent int
+}
+
+// maxTrackedPrograms bounds the /compile id → program map (see the
+// engine's maxCachedPrograms for the rationale).
+const maxTrackedPrograms = 256
+
+// maxBodyBytes caps request bodies: decoding runs before admission
+// control, so an unbounded body could drive the server to OOM without
+// ever hitting the 429 gate. 16 MiB fits any realistic program+coredumps.
+const maxBodyBytes = 16 << 20
+
+// maxBatchReports caps one /batch request's fan-out.
+const maxBatchReports = 256
+
+func (c Config) withDefaults() Config {
+	if c.DefaultBudget == 0 {
+		c.DefaultBudget = 60 * time.Second
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 10 * time.Minute
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	return c
+}
+
+// Server is the HTTP front-end over one Engine.
+type Server struct {
+	eng   *esd.Engine
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	programs map[string]*esd.Program // ID -> compiled program
+}
+
+// New builds a Server over eng.
+func New(eng *esd.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+		programs: map[string]*esd.Program{},
+	}
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- request/response shapes -------------------------------------------------
+
+type compileRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type compileResponse struct {
+	ProgramID string `json:"program_id"`
+	Instrs    int    `json:"instrs"`
+}
+
+// synthesizeRequest addresses a program by prior /compile ID, inline
+// source, or bundled app name, plus the coredump and search options.
+type synthesizeRequest struct {
+	ProgramID string `json:"program_id,omitempty"`
+	Name      string `json:"name,omitempty"`
+	Source    string `json:"source,omitempty"`
+	// App selects a bundled evaluated app (program + its coredump):
+	// the smoke-test and demo path.
+	App string `json:"app,omitempty"`
+
+	// Report is the coredump JSON (optional when App is set).
+	Report json.RawMessage `json:"report,omitempty"`
+
+	BudgetMS        int64  `json:"budget_ms,omitempty"`
+	Seed            int64  `json:"seed,omitempty"`
+	Strategy        string `json:"strategy,omitempty"` // esd | dfs | randpath
+	PreemptionBound int    `json:"preemption_bound,omitempty"`
+	RaceDetector    bool   `json:"race_detector,omitempty"`
+	// Stream switches the response to SSE progress + final result.
+	Stream bool `json:"stream,omitempty"`
+}
+
+type batchRequest struct {
+	synthesizeRequest
+	Reports []json.RawMessage `json:"reports"`
+}
+
+type statsJSON struct {
+	DurationMS    int64      `json:"duration_ms"`
+	Steps         int64      `json:"steps"`
+	States        int64      `json:"states"`
+	SolverQueries int        `json:"solver_queries"`
+	Interner      expr.Stats `json:"interner"`
+}
+
+type resultJSON struct {
+	Found     bool            `json:"found"`
+	TimedOut  bool            `json:"timed_out,omitempty"`
+	Cancelled bool            `json:"cancelled,omitempty"`
+	Execution json.RawMessage `json:"execution,omitempty"`
+	OtherBugs []string        `json:"other_bugs,omitempty"`
+	Stats     statsJSON       `json:"stats"`
+	Error     string          `json:"error,omitempty"`
+}
+
+type progressJSON struct {
+	Phase         string `json:"phase"`
+	Report        int    `json:"report,omitempty"`
+	ElapsedMS     int64  `json:"elapsed_ms"`
+	Steps         int64  `json:"steps"`
+	States        int64  `json:"states"`
+	Live          int    `json:"live"`
+	Depth         int64  `json:"depth"`
+	BestDist      int64  `json:"best_dist"`
+	SolverQueries int    `json:"solver_queries"`
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if req.Source == "" {
+		httpError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "program.c"
+	}
+	prog, err := s.eng.Compile(name, req.Source)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		return
+	}
+	s.mu.Lock()
+	// Bounded like the engine's memo: a client churning distinct sources
+	// must not grow the server without limit (an evicted id just needs a
+	// re-/compile). Eviction is arbitrary-entry, matching the engine.
+	for k := range s.programs {
+		if len(s.programs) < maxTrackedPrograms {
+			break
+		}
+		delete(s.programs, k)
+	}
+	s.programs[prog.ID()] = prog
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, compileResponse{ProgramID: prog.ID(), Instrs: prog.NumInstrs()})
+}
+
+// resolve locates the program and (for single synthesis) the report.
+func (s *Server) resolve(req *synthesizeRequest) (*esd.Program, *esd.BugReport, error) {
+	var prog *esd.Program
+	var rep *esd.BugReport
+	switch {
+	case req.App != "":
+		a := apps.Get(req.App)
+		if a == nil {
+			return nil, nil, fmt.Errorf("unknown app %q", req.App)
+		}
+		m, err := a.Program()
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := a.Coredump()
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, rep = &esd.Program{MIR: m}, &esd.BugReport{R: r}
+	case req.ProgramID != "":
+		s.mu.Lock()
+		prog = s.programs[req.ProgramID]
+		s.mu.Unlock()
+		if prog == nil {
+			return nil, nil, fmt.Errorf("unknown program_id %q (compile it first)", req.ProgramID)
+		}
+	case req.Source != "":
+		name := req.Name
+		if name == "" {
+			name = "program.c"
+		}
+		p, err := s.eng.Compile(name, req.Source)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog = p
+	default:
+		return nil, nil, fmt.Errorf("missing program: set program_id, source, or app")
+	}
+	if len(req.Report) > 0 {
+		r, err := report.Decode(req.Report)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep = &esd.BugReport{R: r}
+	}
+	return prog, rep, nil
+}
+
+// options converts the wire options to engine options, applying the
+// server's budget policy.
+func (s *Server) options(req *synthesizeRequest) ([]esd.SynthOption, error) {
+	budget := s.cfg.DefaultBudget
+	if req.BudgetMS > 0 {
+		budget = time.Duration(req.BudgetMS) * time.Millisecond
+		if budget > s.cfg.MaxBudget {
+			budget = s.cfg.MaxBudget
+		}
+	}
+	opts := []esd.SynthOption{esd.WithBudget(budget), esd.WithSeed(req.Seed)}
+	switch req.Strategy {
+	case "", "esd":
+	case "dfs":
+		opts = append(opts, esd.WithStrategy(esd.DFS))
+	case "randpath":
+		opts = append(opts, esd.WithStrategy(esd.RandomPath))
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+	if req.PreemptionBound > 0 {
+		opts = append(opts, esd.WithPreemptionBound(req.PreemptionBound))
+	}
+	if req.RaceDetector {
+		opts = append(opts, esd.WithRaceDetection())
+	}
+	return opts, nil
+}
+
+// acquireN admits up to want synthesis slots without blocking, returning
+// how many it got (0 → the caller answers 429). Batches charge one slot
+// per worker so MaxConcurrent really bounds simultaneously running
+// syntheses, not simultaneously running requests.
+func (s *Server) acquireN(w http.ResponseWriter, want int) int {
+	got := 0
+	for got < want {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+		default:
+			if got == 0 {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, "at capacity (%d concurrent syntheses)", s.cfg.MaxConcurrent)
+			}
+			return got
+		}
+	}
+	return got
+}
+
+func (s *Server) acquire(w http.ResponseWriter) bool { return s.acquireN(w, 1) == 1 }
+
+func (s *Server) releaseN(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+func (s *Server) release() { s.releaseN(1) }
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	var req synthesizeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	prog, rep, err := s.resolve(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rep == nil {
+		httpError(w, http.StatusBadRequest, "missing report")
+		return
+	}
+	opts, err := s.options(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+
+	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if !stream {
+		res, err := s.eng.Synthesize(r.Context(), prog, rep, opts...)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "synthesize: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toResultJSON(res))
+		return
+	}
+
+	// SSE: progress events are emitted synchronously from the synthesis
+	// goroutine (this handler's goroutine), so writing from the callback
+	// is race-free.
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func(event string, payload any) {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		fl.Flush()
+	}
+	opts = append(opts, esd.OnProgress(func(ev esd.ProgressEvent) {
+		emit("progress", toProgressJSON(ev))
+	}))
+	res, err := s.eng.Synthesize(r.Context(), prog, rep, opts...)
+	if err != nil {
+		emit("result", resultJSON{Error: err.Error()})
+		return
+	}
+	emit("result", toResultJSON(res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if len(req.Reports) > maxBatchReports {
+		httpError(w, http.StatusBadRequest, "too many reports (%d > %d)", len(req.Reports), maxBatchReports)
+		return
+	}
+	prog, appRep, err := s.resolve(&req.synthesizeRequest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var reports []*esd.BugReport
+	for i, raw := range req.Reports {
+		rr, err := report.Decode(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "report %d: %v", i, err)
+			return
+		}
+		reports = append(reports, &esd.BugReport{R: rr})
+	}
+	if len(reports) == 0 && appRep != nil {
+		reports = []*esd.BugReport{appRep}
+	}
+	if len(reports) == 0 {
+		httpError(w, http.StatusBadRequest, "missing reports")
+		return
+	}
+	opts, err := s.options(&req.synthesizeRequest)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	want := len(reports)
+	if want > s.cfg.MaxConcurrent {
+		want = s.cfg.MaxConcurrent
+	}
+	workers := s.acquireN(w, want)
+	if workers == 0 {
+		return
+	}
+	defer s.releaseN(workers)
+	opts = append(opts, esd.WithBatchWorkers(workers))
+
+	results, err := s.eng.SynthesizeBatch(r.Context(), prog, reports, opts...)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "batch: %v", err)
+		return
+	}
+	out := struct {
+		Results []resultJSON `json:"results"`
+	}{}
+	for _, res := range results {
+		out.Results = append(out.Results, toResultJSON(res))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"capacity":  s.cfg.MaxConcurrent,
+		"active":    len(s.sem),
+		"engine":    s.eng.Stats(),
+		"interner":  expr.InternerStats(),
+	})
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func toResultJSON(res *esd.Result) resultJSON {
+	if res == nil {
+		return resultJSON{Error: "no result"}
+	}
+	out := resultJSON{
+		Found:     res.Found,
+		TimedOut:  res.TimedOut,
+		Cancelled: res.Cancelled,
+		OtherBugs: res.OtherBugs,
+		Stats: statsJSON{
+			DurationMS:    res.Stats.Duration.Milliseconds(),
+			Steps:         res.Stats.Steps,
+			States:        res.Stats.States,
+			SolverQueries: res.Stats.SolverQueries,
+			Interner:      res.Stats.Interner,
+		},
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	if res.Execution != nil {
+		if data, err := res.Execution.JSON(); err == nil {
+			out.Execution = data
+		}
+	}
+	return out
+}
+
+func toProgressJSON(ev esd.ProgressEvent) progressJSON {
+	return progressJSON{
+		Phase:         ev.Phase.String(),
+		Report:        ev.Report,
+		ElapsedMS:     ev.Elapsed.Milliseconds(),
+		Steps:         ev.Steps,
+		States:        ev.States,
+		Live:          ev.Live,
+		Depth:         ev.Depth,
+		BestDist:      ev.BestDist,
+		SolverQueries: ev.SolverQueries,
+	}
+}
+
+// decodeBody parses a size-capped JSON request body, answering 413 for
+// oversized payloads (so clients can tell "shrink and retry" apart from
+// "malformed") and 400 for everything else. A non-nil return means the
+// response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	if err == nil {
+		return nil
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		return err
+	}
+	httpError(w, http.StatusBadRequest, "bad request: %v", err)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

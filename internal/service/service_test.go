@@ -1,0 +1,325 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"esd"
+	"esd/internal/apps"
+)
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(esd.New(), cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServiceSynthesizeApp is the HTTP analogue of the CI smoke step:
+// synthesize the bundled listing1 bug end-to-end over the wire.
+func TestServiceSynthesizeApp(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Found     bool            `json:"found"`
+		Execution json.RawMessage `json:"execution"`
+		Stats     struct {
+			Steps    int64 `json:"steps"`
+			Interner struct {
+				Terms int `json:"terms"`
+			} `json:"interner"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !res.Found {
+		t.Fatalf("listing1 not found over HTTP: %s", body)
+	}
+	if len(res.Execution) == 0 {
+		t.Fatal("no execution file in response")
+	}
+	if res.Stats.Interner.Terms <= 0 {
+		t.Error("interner stats missing from result")
+	}
+	// The returned execution file must parse and replay.
+	ex, err := esd.ExecutionFromJSON(res.Execution)
+	if err != nil {
+		t.Fatalf("execution round-trip: %v", err)
+	}
+	a := apps.Get("listing1")
+	m, err := a.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := esd.NewPlayer(&esd.Program{MIR: m}, ex, esd.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(1_000_000); err != nil {
+		t.Fatalf("playback of served execution diverged: %v", err)
+	}
+}
+
+// TestServiceCompileThenSynthesize drives the two-step flow: /compile
+// returns a program handle, /synthesize reuses it with an uploaded
+// coredump.
+func TestServiceCompileThenSynthesize(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	a := apps.Get("listing1")
+	rep, err := a.Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/compile", map[string]any{
+		"name": "listing1.c", "source": a.Source,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile status %d: %s", resp.StatusCode, body)
+	}
+	var comp struct {
+		ProgramID string `json:"program_id"`
+		Instrs    int    `json:"instrs"`
+	}
+	if err := json.Unmarshal(body, &comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.ProgramID == "" || comp.Instrs == 0 {
+		t.Fatalf("bad compile response: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"program_id": comp.ProgramID,
+		"report":     json.RawMessage(repJSON),
+		"budget_ms":  60000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"found": true`) {
+		t.Fatalf("not found: %s", body)
+	}
+}
+
+// TestServiceBatch fans several coredumps of one program out through
+// /batch and checks every report reproduces.
+func TestServiceBatch(t *testing.T) {
+	ts := newTestServer(t, Config{MaxConcurrent: 2})
+	a := apps.Get("listing1")
+	rep, err := a.Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []json.RawMessage
+	for i := 0; i < 4; i++ {
+		reports = append(reports, repJSON)
+	}
+	resp, body := postJSON(t, ts.URL+"/batch", map[string]any{
+		"app": "listing1", "reports": reports, "budget_ms": 60000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []struct {
+			Found bool   `json:"found"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || !r.Found {
+			t.Errorf("report %d: found=%v err=%q", i, r.Found, r.Error)
+		}
+	}
+}
+
+// TestServiceSSEStream asserts the streaming contract on the wire:
+// progress events then exactly one result event, which reports the bug
+// found.
+func TestServiceSSEStream(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	data, _ := json.Marshal(map[string]any{
+		"app": "listing1", "budget_ms": 60000, "stream": true,
+	})
+	resp, err := http.Post(ts.URL+"/synthesize", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var events []string
+	var lastData string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			lastData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	if events[len(events)-1] != "result" {
+		t.Fatalf("last event = %q, want result (events: %v)", events[len(events)-1], events)
+	}
+	for _, e := range events[:len(events)-1] {
+		if e != "progress" {
+			t.Errorf("unexpected event %q before result", e)
+		}
+	}
+	var res struct {
+		Found bool `json:"found"`
+	}
+	if err := json.Unmarshal([]byte(lastData), &res); err != nil {
+		t.Fatalf("bad result payload %q: %v", lastData, err)
+	}
+	if !res.Found {
+		t.Fatalf("streamed result not found: %s", lastData)
+	}
+}
+
+// TestServiceConcurrencyLimit: a saturated server sheds load with 429
+// instead of queueing unboundedly.
+func TestServiceConcurrencyLimit(t *testing.T) {
+	srv := New(esd.New(), Config{MaxConcurrent: 1})
+	// Occupy the only slot directly.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 1000,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+}
+
+// TestServiceHealthz checks the health payload carries the interner and
+// engine cache observability fields.
+func TestServiceHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{MaxConcurrent: 3})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		Capacity int    `json:"capacity"`
+		Interner struct {
+			Terms  int   `json:"terms"`
+			Bytes  int64 `json:"bytes"`
+			Shards int   `json:"shards"`
+		} `json:"interner"`
+		Engine struct {
+			Synthesized int64 `json:"synthesized"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &h); err != nil {
+		t.Fatalf("bad healthz %s: %v", buf.String(), err)
+	}
+	if h.Status != "ok" || h.Capacity != 3 {
+		t.Errorf("healthz = %s", buf.String())
+	}
+	if h.Interner.Terms <= 0 || h.Interner.Bytes <= 0 || h.Interner.Shards <= 0 {
+		t.Errorf("interner stats missing: %s", buf.String())
+	}
+}
+
+// TestServiceBadRequests covers the error paths.
+func TestServiceBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		path string
+		body any
+		want int
+	}{
+		{"/synthesize", map[string]any{}, http.StatusBadRequest},                              // no program
+		{"/synthesize", map[string]any{"app": "nosuch"}, http.StatusBadRequest},               // unknown app
+		{"/synthesize", map[string]any{"program_id": "zz"}, http.StatusBadRequest},            // unknown id
+		{"/compile", map[string]any{"source": "int main( {"}, http.StatusUnprocessableEntity}, // syntax error
+		{"/batch", map[string]any{"app": "listing1", "reports": []string{}}, http.StatusOK},   // app fallback report
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("POST %s %v: status %d want %d (%s)", c.path, c.body, resp.StatusCode, c.want, body)
+		}
+	}
+	// Per-request budget is capped by MaxBudget (observable as TimedOut
+	// well before the requested hour on an unreproducible search).
+	capped := newTestServer(t, Config{MaxBudget: 500 * time.Millisecond})
+	a := apps.Get("ls3")
+	repLs3, err := a.Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, _ := repLs3.Encode()
+	start := time.Now()
+	resp, body := postJSON(t, capped.URL+"/synthesize", map[string]any{
+		"app": "ls3", "report": json.RawMessage(repJSON), "budget_ms": 3600000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capped synthesize: %d %s", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("MaxBudget cap not applied: ran %v", elapsed)
+	}
+}

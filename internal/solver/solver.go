@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"esd/internal/expr"
 )
@@ -637,11 +638,107 @@ func substituteAll(cs []*expr.Expr, v string, val int64) []*expr.Expr {
 	return out
 }
 
+// maxPropagateRounds caps the fixpoint iteration of propagate. Interval
+// propagation over difference constraints can converge by one unit per
+// round (e.g. an unsatisfiable "x >= y && x < y" over unbounded inputs
+// walks each bound across the whole value universe), so the loop must not
+// run to natural fixpoint unconditionally. Real constraint sets settle in
+// a handful of rounds; a capped-out set is returned undecided and the
+// case-split search takes over.
+const maxPropagateRounds = 256
+
+// refuteOpposing detects directly contradictory linear constraints: two
+// (or more) relations over the same linear combination of variables whose
+// allowed intervals do not intersect, e.g. "x - y >= 0" and "x - y < 0".
+// Interval propagation alone needs O(domain width) rounds to refute these
+// (see maxPropagateRounds); this closes the gap in one pass.
+func refuteOpposing(cs []*expr.Expr) bool {
+	var bounds map[string]interval
+	for _, c := range cs {
+		switch c.Op {
+		case expr.OpEq, expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+		default:
+			continue
+		}
+		la, aok := asLinear(c.A)
+		lb, bok := asLinear(c.B)
+		if !aok || !bok {
+			continue
+		}
+		diff := la.add(lb.scale(-1)) // diff REL 0
+		if len(diff.coeff) == 0 {
+			continue
+		}
+		key, allowed, ok := linAllowed(c.Op, diff)
+		if !ok {
+			continue
+		}
+		if bounds == nil {
+			bounds = map[string]interval{}
+		}
+		if prev, seen := bounds[key]; seen {
+			allowed = allowed.intersect(prev)
+			if allowed.empty() {
+				return true
+			}
+		}
+		bounds[key] = allowed
+	}
+	return false
+}
+
+// linAllowed canonicalizes "lin REL 0" into a key identifying the variable
+// part S = Σ coeff·x (variables sorted, leading coefficient made positive)
+// and the interval of values REL permits for S. Ne constraints are skipped
+// (they exclude one point, not an interval).
+func linAllowed(op expr.Op, lin linear) (string, interval, bool) {
+	vars := make([]string, 0, len(lin.coeff))
+	for v := range lin.coeff {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	sign := int64(1)
+	if lin.coeff[vars[0]] < 0 {
+		sign = -1
+	}
+	// S + k REL 0  =>  S REL -k (S already sign-normalized below).
+	var allowed interval
+	k := lin.k
+	switch op {
+	case expr.OpEq:
+		allowed = interval{-k, -k}
+	case expr.OpLe:
+		allowed = interval{-satLimit, -k}
+	case expr.OpLt:
+		allowed = interval{-satLimit, satAdd(-k, -1)}
+	case expr.OpGe:
+		allowed = interval{-k, satLimit}
+	case expr.OpGt:
+		allowed = interval{satAdd(-k, 1), satLimit}
+	default:
+		return "", interval{}, false
+	}
+	if sign < 0 {
+		allowed = interval{-allowed.hi, -allowed.lo}
+	}
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s*%d;", v, sign*lin.coeff[v])
+	}
+	return b.String(), allowed, true
+}
+
 // propagate tightens domains from linear constraints and discharges folded
 // constraints. Returns the remaining constraint set.
 func (st *searchState) propagate(cs []*expr.Expr) ([]*expr.Expr, Result) {
-	for changed := true; changed; {
-		changed = false
+	if refuteOpposing(cs) {
+		return nil, Unsat
+	}
+	for rounds := 0; ; rounds++ {
+		if rounds >= maxPropagateRounds {
+			return cs, Unknown // capped out: let the case split decide
+		}
+		changed := false
 		next := cs[:0:len(cs)]
 		for _, c := range cs {
 			if v, ok := c.IsConst(); ok {
@@ -680,6 +777,9 @@ func (st *searchState) propagate(cs []*expr.Expr) ([]*expr.Expr, Result) {
 					changed = true
 				}
 			}
+		}
+		if !changed {
+			break
 		}
 	}
 	return cs, Unknown

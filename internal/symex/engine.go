@@ -1,11 +1,24 @@
 package symex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"esd/internal/mir"
 	"esd/internal/solver"
 )
+
+// ErrInterrupted is returned by Step and Run when the engine's context is
+// cancelled. It is the prompt-cancellation channel for everything that
+// executes inside the VM — symbolic search quanta, scheduling-policy
+// forks, concrete playback — without per-instruction context overhead.
+var ErrInterrupted = errors.New("symex: interrupted by context")
+
+// ctxCheckPeriod is how many steps may execute between context checks.
+// At the VM's per-step cost this bounds the cancellation latency to well
+// under a millisecond even on solver-free stretches.
+const ctxCheckPeriod = 1024
 
 // Policy is the scheduling-policy hook the schedule synthesizer
 // (internal/sched) plugs into the VM. A nil policy yields deterministic
@@ -65,6 +78,10 @@ type Engine struct {
 	// Inputs, when non-nil, makes execution fully concrete (no symbolic
 	// variables are ever introduced).
 	Inputs InputProvider
+	// Ctx, when non-nil, interrupts execution: Step (and therefore Run and
+	// every policy hook invoked from it) returns ErrInterrupted shortly
+	// after the context is done. Checked every ctxCheckPeriod steps.
+	Ctx context.Context
 
 	// EnvLen is the modeled length (cells, incl. NUL) of getenv buffers.
 	EnvLen int
@@ -78,6 +95,25 @@ type Engine struct {
 
 	nextStateID int
 	nextObjID   int
+	ctxTick     int
+}
+
+// interrupted polls the engine's context on a coarse step cadence.
+func (e *Engine) interrupted() bool {
+	if e.Ctx == nil {
+		return false
+	}
+	e.ctxTick++
+	if e.ctxTick < ctxCheckPeriod {
+		return false
+	}
+	e.ctxTick = 0
+	select {
+	case <-e.Ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // New returns an engine for prog.
@@ -146,6 +182,9 @@ func (e *Engine) InitialState() (*State, error) {
 // and policy-forked states are also returned so the search can inspect
 // them; callers check Status.
 func (e *Engine) Step(st *State) ([]*State, error) {
+	if e.interrupted() {
+		return nil, ErrInterrupted
+	}
 	if st.Status != StateRunning {
 		return nil, fmt.Errorf("symex: step on %s state %d", st.Status, st.ID)
 	}
