@@ -4,13 +4,16 @@
 // with synthesized executions.
 //
 //	esdserve -addr :8080 [-max-concurrent 4] [-default-budget 60s] [-max-budget 10m]
+//	         [-interner-high-water 268435456]
 //
 // Endpoints (see internal/service for the full wire contract):
 //
 //	POST /compile     compile MiniC source, get a reusable program_id
 //	POST /synthesize  synthesize one coredump (SSE progress with "stream")
 //	POST /batch       synthesize many coredumps of one program
-//	GET  /healthz     liveness + engine/interner observability
+//	POST /reclaim     force one interner epoch sweep (409 while busy)
+//	GET  /healthz     liveness + engine/interner observability (epochs,
+//	                  sweeps, bytes reclaimed)
 //
 // Example:
 //
@@ -37,12 +40,15 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 4, "max simultaneous syntheses (excess requests get 429)")
 		defaultBudget = flag.Duration("default-budget", 60*time.Second, "budget for requests without budget_ms")
 		maxBudget     = flag.Duration("max-budget", 10*time.Minute, "cap on requested budgets")
+		highWater     = flag.Int64("interner-high-water", 256<<20,
+			"interned-term footprint (bytes) above which idle epoch sweeps reclaim dead terms (0 disables)")
 	)
 	flag.Parse()
 
 	eng := esd.New(
 		esd.WithDefaultBudget(*defaultBudget),
 		esd.WithMaxConcurrent(*maxConcurrent),
+		esd.WithInternerHighWater(*highWater),
 	)
 	srv := service.New(eng, service.Config{
 		DefaultBudget: *defaultBudget,
@@ -66,8 +72,8 @@ func main() {
 		hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("esdserve: listening on %s (max-concurrent=%d, default-budget=%s, max-budget=%s)",
-		*addr, *maxConcurrent, *defaultBudget, *maxBudget)
+	log.Printf("esdserve: listening on %s (max-concurrent=%d, default-budget=%s, max-budget=%s, interner-high-water=%d)",
+		*addr, *maxConcurrent, *defaultBudget, *maxBudget, *highWater)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "esdserve: %v\n", err)
 		os.Exit(1)

@@ -88,6 +88,33 @@ func TestEngineDeadlineReportsTimeout(t *testing.T) {
 	}
 }
 
+// TestEnginePreExpiredDeadline: a context whose deadline already passed
+// must report TimedOut immediately without searching. The historical bug:
+// time.Until on an expired deadline is negative, and a negative Budget
+// reads as "no wall-clock limit" in the search, which then burned the
+// full step cap before the context machinery caught it.
+func TestEnginePreExpiredDeadline(t *testing.T) {
+	prog, rep := appProgReport(t, "listing1")
+	eng := esd.New()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	res, err := eng.Synthesize(ctx, prog, rep, esd.WithBudget(5*time.Minute), esd.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || res.Cancelled || res.Found {
+		t.Errorf("TimedOut=%v Cancelled=%v Found=%v, want TimedOut only",
+			res.TimedOut, res.Cancelled, res.Found)
+	}
+	if res.Stats.Steps != 0 {
+		t.Errorf("search executed %d steps despite the expired deadline", res.Stats.Steps)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("expired-deadline synthesize took %v, want immediate return", elapsed)
+	}
+}
+
 // TestEngineBatchSharesState is the acceptance gate for batch cache
 // sharing: 8 reports against one program must reuse the fingerprint-keyed
 // distance tables (every search after the first is a cache hit) and all

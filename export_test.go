@@ -1,0 +1,13 @@
+package esd
+
+import "time"
+
+// SetSweepQuiesceTuning overrides the watermark forced-quiescence tuning
+// (admission-pause bound and attempt cooldown) and returns a restore
+// function. Test-only: saturation tests cannot wait out the production
+// 15-second cooldown.
+func SetSweepQuiesceTuning(wait, cooldown time.Duration) (restore func()) {
+	prevWait, prevCooldown := sweepQuiesceWait, sweepCooldown
+	sweepQuiesceWait, sweepCooldown = wait, cooldown
+	return func() { sweepQuiesceWait, sweepCooldown = prevWait, prevCooldown }
+}

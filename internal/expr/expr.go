@@ -83,6 +83,9 @@ type Expr struct {
 	hash uint64  // structural hash, computed at construction
 	id   uint64  // process-unique intern ID, for identity-keyed caches
 	vars *varSet // cached free-variable set
+	mark uint64  // reclaim-generation mark; touched only inside Reclaim's
+	// stop-the-world window (reclaim.go), never concurrently with readers
+	// of the other fields
 }
 
 // Const returns a constant term.

@@ -139,10 +139,9 @@ func InternedNodes() int {
 }
 
 // Stats is a point-in-time snapshot of the interner's footprint. The
-// table is append-only for the process lifetime (see the package comment
-// on hash-consing), so in a long-lived service these numbers only grow;
-// exposing them is what makes that growth observable before epoch GC or
-// weak interning lands.
+// table is append-only between Reclaim sweeps (see reclaim.go): without a
+// reclaim trigger these numbers only grow, which is why a long-lived
+// service watches them and sets a watermark.
 type Stats struct {
 	// Terms is the number of live interned terms.
 	Terms int `json:"terms"`
@@ -153,6 +152,15 @@ type Stats struct {
 	Bytes int64 `json:"bytes"`
 	// Shards is the fixed shard count of the intern table.
 	Shards int `json:"shards"`
+	// Epoch is the current reclaim epoch: the number of completed sweeps.
+	// Identity-keyed downstream caches record it and flush when it moves.
+	Epoch uint64 `json:"epoch"`
+	// Sweeps counts completed Reclaim sweeps (process-wide; equals Epoch
+	// today, kept separate so epoch semantics can evolve independently).
+	Sweeps int64 `json:"sweeps"`
+	// BytesReclaimed is the cumulative estimate of bytes released by
+	// sweeps over the process lifetime.
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
 }
 
 // InternerStats snapshots the global interner. O(1): the counters are
@@ -160,21 +168,27 @@ type Stats struct {
 // never touches the shard locks.
 func InternerStats() Stats {
 	return Stats{
-		Terms:  int(termCount.Load()),
-		Names:  int(nameCount.Load()),
-		Bytes:  byteCount.Load(),
-		Shards: internShards,
+		Terms:          int(termCount.Load()),
+		Names:          int(nameCount.Load()),
+		Bytes:          byteCount.Load(),
+		Shards:         internShards,
+		Epoch:          epochCount.Load(),
+		Sweeps:         sweepCount.Load(),
+		BytesReclaimed: reclaimedBytes.Load(),
 	}
 }
 
 // --- Variable name table ----------------------------------------------------
 
 // nameTab interns variable names to dense int32 IDs so var-sets are sorted
-// integer slices instead of string sets.
+// integer slices instead of string sets. free holds IDs tombstoned by a
+// Reclaim sweep; they are recycled before the table grows, which is safe
+// because a swept ID is, by construction, referenced by no live term.
 var nameTab = struct {
 	sync.RWMutex
 	ids   map[string]int32
 	names []string
+	free  []int32
 }{ids: map[string]int32{}}
 
 func internName(s string) int32 {
@@ -189,8 +203,14 @@ func internName(s string) int32 {
 	if id, ok := nameTab.ids[s]; ok {
 		return id
 	}
-	id = int32(len(nameTab.names))
-	nameTab.names = append(nameTab.names, s)
+	if n := len(nameTab.free); n > 0 {
+		id = nameTab.free[n-1]
+		nameTab.free = nameTab.free[:n-1]
+		nameTab.names[id] = s
+	} else {
+		id = int32(len(nameTab.names))
+		nameTab.names = append(nameTab.names, s)
+	}
 	nameTab.ids[s] = id
 	nameCount.Add(1)
 	byteCount.Add(int64(len(s)))
@@ -220,6 +240,7 @@ func nameOf(id int32) string {
 type varSet struct {
 	ids  []int32 // sorted ascending, deduplicated
 	hash uint64
+	mark uint64 // reclaim-generation mark (see reclaim.go)
 
 	once   sync.Once
 	sorted []string // lexically sorted names, built lazily

@@ -25,6 +25,7 @@ import (
 
 	"esd/internal/cfa"
 	"esd/internal/dist"
+	"esd/internal/expr"
 	"esd/internal/mir"
 	"esd/internal/race"
 	"esd/internal/report"
@@ -223,6 +224,13 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Pin the interned-term universe for the run: a reclaim sweep while the
+	// VM is building terms would dangle this search's whole state pool. The
+	// public engine pins around the wider synthesize (search + path
+	// concretization); pinning here as well costs nothing (pins nest) and
+	// protects direct callers — esdexp, the CLIs, tests.
+	release := expr.Pin()
+	defer release()
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 50_000_000
 	}
@@ -331,7 +339,10 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		return nil, err
 	}
 	emit(PhaseSearch, 1)
-	found, timedOut, cancelled := s.run(init, res)
+	found, timedOut, cancelled, err := s.run(init, res)
+	if err != nil {
+		return nil, err
+	}
 	res.Found = found
 	res.TimedOut = timedOut
 	res.Cancelled = cancelled
@@ -451,9 +462,10 @@ func (h *stateHeap) pop() (heapEntry, bool) {
 	return top, true
 }
 
-// run drives the search to one of four outcomes: found, space exhausted,
-// timed out (budget or context deadline), or cancelled.
-func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled bool) {
+// run drives the search to one of its outcomes: found, space exhausted,
+// timed out (budget or context deadline), cancelled, or a hard error (the
+// epoch guard tripping, which means the reclaim gate was violated).
+func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled bool, err error) {
 	s.alive = map[*symex.State]bool{}
 	s.heaps = make([]stateHeap, len(s.queueGoals))
 	s.insert(init)
@@ -461,31 +473,36 @@ func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, time
 		now := time.Now()
 		if err := s.ctx.Err(); err != nil {
 			timedOut, cancelled = classifyCtxErr(err)
-			return nil, timedOut, cancelled
+			return nil, timedOut, cancelled, nil
 		}
 		if s.budgetExceeded(now) {
-			return nil, true, false
+			return nil, true, false, nil
 		}
 		s.maybeProgress(now)
 		st := s.pick()
 		if st == nil {
-			return nil, false, false
+			return nil, false, false, nil
 		}
 		found, err := s.quantum(st, res)
 		if err != nil {
+			if errors.Is(err, symex.ErrEpochChanged) {
+				// Not a scheduling outcome: the interner was swept under
+				// this live run, every held term is suspect. Surface it.
+				return nil, false, false, err
+			}
 			// The VM observed the context mid-quantum (the prompt-
 			// cancellation path for long quanta and solver-heavy steps).
 			timedOut, cancelled = classifyCtxErr(s.ctx.Err())
-			return nil, timedOut, cancelled
+			return nil, timedOut, cancelled, nil
 		}
 		if found != nil {
-			return found, false, false
+			return found, false, false, nil
 		}
 		if len(s.alive) > s.opts.MaxStates {
 			s.shedStates()
 		}
 	}
-	return nil, false, false
+	return nil, false, false, nil
 }
 
 // classifyCtxErr maps a context error onto the result flags: deadlines are
@@ -782,12 +799,13 @@ func (s *searcher) stateDistance(st *symex.State, goalSet []mir.Loc) int64 {
 // quantum runs st for up to Quantum instructions, absorbing forks into the
 // pool. It returns a state matching the report if one terminates this
 // quantum, and a non-nil error only when the VM observed the cancelled
-// context (every other engine error abandons the state in place).
+// context or the epoch guard (every other engine error abandons the state
+// in place).
 func (s *searcher) quantum(st *symex.State, res *Result) (*symex.State, error) {
 	for i := 0; i < s.opts.Quantum; i++ {
 		succ, err := s.eng.Step(st)
 		if err != nil {
-			if errors.Is(err, symex.ErrInterrupted) {
+			if errors.Is(err, symex.ErrInterrupted) || errors.Is(err, symex.ErrEpochChanged) {
 				return nil, err
 			}
 			// Engine-level errors abandon the state (they indicate an

@@ -14,12 +14,17 @@
 //	                    followed by one "result" event when "stream" is true
 //	                    (or the request Accepts text/event-stream)
 //	POST /batch      {"program_id" | ..., "reports": [{...}, ...], ...}
-//	                 -> {"results": [...]}
+//	                 -> {"results": [...]} (streaming is rejected with 400)
+//	POST /reclaim    -> force one interner epoch sweep (409 while busy)
 //	GET  /healthz    -> {"status": "ok", "uptime_ms", "capacity", "active",
-//	                     "engine": {...}, "interner": {...}}
+//	                     "engine": {...}, "interner": {... epoch, sweeps,
+//	                     bytes_reclaimed}}
 //
 // Synthesis and batch requests are admission-controlled by a concurrency
 // limit (429 + Retry-After when saturated) and budget-capped per request.
+// Handlers pin the interned-term store for their duration, so the
+// engine's watermark sweep (WithInternerHighWater) only ever runs between
+// requests; admission briefly quiesces while a sweep is in progress.
 package service
 
 import (
@@ -101,6 +106,7 @@ func New(eng *esd.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /reclaim", s.handleReclaim)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -222,7 +228,12 @@ func (s *Server) resolve(req *synthesizeRequest) (*esd.Program, *esd.BugReport, 
 		if a == nil {
 			return nil, nil, fmt.Errorf("unknown app %q", req.App)
 		}
-		m, err := a.Program()
+		// Resolve the app through the engine's Compile memo: repeated
+		// {"app": X} requests share one compiled program (and therefore one
+		// distance-table entry and one program ID) instead of wrapping a
+		// fresh *esd.Program per request, and the sharing is observable as
+		// CompileCacheHits in /healthz.
+		p, err := s.eng.Compile(a.Name+".c", a.Source)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -230,7 +241,7 @@ func (s *Server) resolve(req *synthesizeRequest) (*esd.Program, *esd.BugReport, 
 		if err != nil {
 			return nil, nil, err
 		}
-		prog, rep = &esd.Program{MIR: m}, &esd.BugReport{R: r}
+		prog, rep = p, &esd.BugReport{R: r}
 	case req.ProgramID != "":
 		s.mu.Lock()
 		prog = s.programs[req.ProgramID]
@@ -326,7 +337,21 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
+	// Pin the interned-term universe across resolve: it may build terms
+	// outside the engine's own pin (a first app request runs the user-site
+	// simulator for its coredump), and a sweep must never land under term
+	// construction. The pin is released as soon as resolve returns —
+	// programs and reports hold no terms, and the engine pins again for
+	// the synthesis itself — so the engine's watermark policy (including
+	// its forced-quiescence fallback) runs from an unpinned context. The
+	// deferred MaybeReclaim (registered first, so it runs after the
+	// deferred release) lets the request that pushed the interner over the
+	// watermark trigger the sweep on its way out.
+	defer s.eng.MaybeReclaim()
+	release := expr.Pin()
+	defer release()
 	prog, rep, err := s.resolve(&req)
+	release()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -391,11 +416,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
+	if req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		// The embedded synthesizeRequest accepts the field (and /synthesize
+		// honors the Accept header), but /batch has no progress stream —
+		// silently ignoring either form left clients waiting on events
+		// that would never arrive.
+		httpError(w, http.StatusBadRequest,
+			"stream is not supported on /batch; POST each report to /synthesize with stream=true for progress events")
+		return
+	}
 	if len(req.Reports) > maxBatchReports {
 		httpError(w, http.StatusBadRequest, "too many reports (%d > %d)", len(req.Reports), maxBatchReports)
 		return
 	}
+	// Same pin discipline as handleSynthesize: pinned across resolve only.
+	defer s.eng.MaybeReclaim()
+	release := expr.Pin()
+	defer release()
 	prog, appRep, err := s.resolve(&req.synthesizeRequest)
+	release()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -444,6 +483,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out.Results = append(out.Results, toResultJSON(res))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReclaim forces one interner epoch sweep (the watermark policy
+// runs the same sweep automatically; this endpoint exists for operators
+// and smoke tests). 409 means syntheses were in flight — the sweep never
+// preempts live work; retry when idle.
+func (s *Server) handleReclaim(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.eng.Reclaim()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusConflict, "syntheses in flight; the sweep only runs when the engine is idle")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

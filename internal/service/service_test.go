@@ -175,6 +175,131 @@ func TestServiceBatch(t *testing.T) {
 	}
 }
 
+// TestServiceBatchRejectsStream: /batch has no progress stream, so a
+// "stream": true batch request must be rejected with a 400 naming the
+// limitation instead of silently ignoring the field (clients would wait
+// on progress events that never arrive).
+func TestServiceBatchRejectsStream(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	a := apps.Get("listing1")
+	rep, err := a.Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/batch", map[string]any{
+		"app": "listing1", "reports": []json.RawMessage{repJSON},
+		"stream": true, "budget_ms": 1000,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "stream") {
+		t.Errorf("error does not name the stream limitation: %s", body)
+	}
+
+	// Streaming requested through the Accept header (the convention
+	// /synthesize honors) must be rejected the same way, not silently
+	// answered with plain JSON.
+	data, _ := json.Marshal(map[string]any{
+		"app": "listing1", "reports": []json.RawMessage{repJSON}, "budget_ms": 1000,
+	})
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/batch", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("Accept: text/event-stream batch: status %d, want 400", hresp.StatusCode)
+	}
+}
+
+// TestServiceAppResolveMemoized: repeated {"app": X} requests must share
+// one engine-compiled program — observable as exactly one compile plus
+// cache hits in the engine counters — instead of wrapping a fresh program
+// per request and bypassing the Compile memo.
+func TestServiceAppResolveMemoized(t *testing.T) {
+	eng := esd.New()
+	ts := httptest.NewServer(New(eng, Config{}))
+	t.Cleanup(ts.Close)
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+			"app": "listing1", "budget_ms": 60000, "seed": 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	st := eng.Stats()
+	if st.ProgramsCompiled != 1 {
+		t.Errorf("app program compiled %d times, want 1", st.ProgramsCompiled)
+	}
+	if st.CompileCacheHits < 2 {
+		t.Errorf("compile cache hits = %d, want >= 2 (repeated app requests must share the memo)", st.CompileCacheHits)
+	}
+}
+
+// TestServiceReclaimEndpoint: POST /reclaim forces an epoch sweep when
+// the engine is idle, and /healthz surfaces the epoch, sweep count, and
+// bytes reclaimed.
+func TestServiceReclaimEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	// Put some synthesis-era terms in the store first.
+	resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/reclaim", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reclaim: %d %s", resp.StatusCode, body)
+	}
+	var sweep struct {
+		Epoch          uint64 `json:"epoch"`
+		TermsReclaimed int    `json:"terms_reclaimed"`
+		BytesReclaimed int64  `json:"bytes_reclaimed"`
+	}
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		t.Fatalf("bad reclaim payload %s: %v", body, err)
+	}
+	if sweep.Epoch == 0 {
+		t.Errorf("sweep did not advance the epoch: %s", body)
+	}
+	if sweep.TermsReclaimed <= 0 || sweep.BytesReclaimed <= 0 {
+		t.Errorf("forced sweep reclaimed nothing after a synthesis: %s", body)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(hresp.Body)
+	var h struct {
+		Interner struct {
+			Epoch          uint64 `json:"epoch"`
+			Sweeps         int64  `json:"sweeps"`
+			BytesReclaimed int64  `json:"bytes_reclaimed"`
+		} `json:"interner"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &h); err != nil {
+		t.Fatalf("bad healthz %s: %v", buf.String(), err)
+	}
+	if h.Interner.Epoch < sweep.Epoch || h.Interner.Sweeps < 1 || h.Interner.BytesReclaimed < sweep.BytesReclaimed {
+		t.Errorf("healthz does not reflect the sweep: %s", buf.String())
+	}
+}
+
 // TestServiceSSEStream asserts the streaming contract on the wire:
 // progress events then exactly one result event, which reports the bug
 // found.

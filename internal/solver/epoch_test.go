@@ -1,0 +1,48 @@
+package solver
+
+import (
+	"testing"
+
+	"esd/internal/expr"
+)
+
+// TestCacheFlushedOnEpochChange: a warm solver's identity-keyed cache is
+// flushed when the interner epoch advances (a reclaim sweep ran), so a
+// pooled solver cannot accumulate dead-epoch entries forever. Correctness
+// of the answers must be unaffected.
+func TestCacheFlushedOnEpochChange(t *testing.T) {
+	x := expr.Var("epoch-flush-x")
+	cs := []*expr.Expr{
+		expr.Binary(expr.OpGt, x, expr.Const(10)),
+		expr.Binary(expr.OpLt, x, expr.Const(20)),
+	}
+	s := New()
+	if res, _ := s.Check(cs); res != Sat {
+		t.Fatalf("warmup check: %v", res)
+	}
+	hits := s.CacheHits
+	if res, _ := s.Check(cs); res != Sat {
+		t.Fatal("repeat check not sat")
+	}
+	if s.CacheHits <= hits {
+		t.Fatal("setup: repeat query did not hit the warm cache")
+	}
+
+	// Sweep (keeping the constraints alive as roots) and re-query: the
+	// first post-sweep Check must miss (flushed cache) and still answer
+	// Sat; the one after that hits the refilled cache.
+	expr.Reclaim(cs...)
+	hits = s.CacheHits
+	if res, model := s.Check(cs); res != Sat || model == nil {
+		t.Fatalf("post-sweep check: %v", res)
+	}
+	if s.CacheHits != hits {
+		t.Error("cache survived the epoch change (hit on first post-sweep query)")
+	}
+	if res, _ := s.Check(cs); res != Sat {
+		t.Fatal("refilled-cache check not sat")
+	}
+	if s.CacheHits <= hits {
+		t.Error("cache not refilled after the epoch flush")
+	}
+}

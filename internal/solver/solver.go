@@ -70,6 +70,11 @@ type Solver struct {
 	// independent component, so extending a path condition by one conjunct
 	// re-solves only the component the new conjunct touches.
 	cache map[uint64][]cacheEntry
+	// epoch is the interner epoch the cache was filled in. Intern IDs are
+	// never reused, so entries from a reclaimed epoch cannot alias new
+	// terms — but they are dead weight that would pin swept-era models
+	// forever, so Check flushes the cache when the epoch moves.
+	epoch uint64
 
 	// Stats
 	Queries   int
@@ -84,7 +89,7 @@ type cacheEntry struct {
 
 // New returns a Solver with default limits.
 func New() *Solver {
-	return &Solver{MaxNodes: 20000, cache: make(map[uint64][]cacheEntry)}
+	return &Solver{MaxNodes: 20000, cache: make(map[uint64][]cacheEntry), epoch: expr.Epoch()}
 }
 
 // interval is a closed integer range.
@@ -222,6 +227,15 @@ func (l linear) add(o linear) linear {
 // terms. On Sat, the returned model maps every free variable to a value
 // that is verified to satisfy all constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
+	if ep := expr.Epoch(); ep != s.epoch {
+		// A reclaim sweep happened since the cache was filled: its entries
+		// describe terms from a reclaimed epoch. Flush rather than let a
+		// warm pooled solver accumulate dead-epoch entries forever.
+		s.epoch = ep
+		if len(s.cache) > 0 {
+			s.cache = make(map[uint64][]cacheEntry)
+		}
+	}
 	s.Queries++
 	key, ids := identKey(constraints)
 	if ent, ok := s.cacheGet(key, ids); ok {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"esd/internal/expr"
 	"esd/internal/mir"
 	"esd/internal/solver"
 )
@@ -14,6 +15,13 @@ import (
 // executes inside the VM — symbolic search quanta, scheduling-policy
 // forks, concrete playback — without per-instruction context overhead.
 var ErrInterrupted = errors.New("symex: interrupted by context")
+
+// ErrEpochChanged is returned by Step when the interner epoch advanced
+// mid-execution: a Reclaim sweep ran under a live run, which means the
+// quiescence gate (expr.Pin around every synthesis) was violated and this
+// run's terms may dangle. Failing loudly here turns a silent
+// use-after-sweep into a deterministic error the search propagates.
+var ErrEpochChanged = errors.New("symex: interner epoch advanced mid-execution (reclaim swept under a live run)")
 
 // ctxCheckPeriod is how many steps may execute between context checks.
 // At the VM's per-step cost this bounds the cancellation latency to well
@@ -96,29 +104,36 @@ type Engine struct {
 	nextStateID int
 	nextObjID   int
 	ctxTick     int
+	// epoch is the interner epoch the engine was built in; Step checks it
+	// on the context-poll cadence and fails with ErrEpochChanged if a
+	// reclaim sweep lands under a live run.
+	epoch uint64
 }
 
-// interrupted polls the engine's context on a coarse step cadence.
-func (e *Engine) interrupted() bool {
-	if e.Ctx == nil {
-		return false
-	}
+// tick polls the engine's context and the interner epoch on a coarse step
+// cadence, returning ErrInterrupted or ErrEpochChanged when either fires.
+func (e *Engine) tick() error {
 	e.ctxTick++
 	if e.ctxTick < ctxCheckPeriod {
-		return false
+		return nil
 	}
 	e.ctxTick = 0
-	select {
-	case <-e.Ctx.Done():
-		return true
-	default:
-		return false
+	if e.Ctx != nil {
+		select {
+		case <-e.Ctx.Done():
+			return ErrInterrupted
+		default:
+		}
 	}
+	if expr.Epoch() != e.epoch {
+		return ErrEpochChanged
+	}
+	return nil
 }
 
 // New returns an engine for prog.
 func New(prog *mir.Program, s *solver.Solver) *Engine {
-	return &Engine{Prog: prog, Solver: s, EnvLen: 8, nextObjID: 1}
+	return &Engine{Prog: prog, Solver: s, EnvLen: 8, nextObjID: 1, epoch: expr.Epoch()}
 }
 
 // NewObjID allocates a fresh object ID.
@@ -182,8 +197,8 @@ func (e *Engine) InitialState() (*State, error) {
 // and policy-forked states are also returned so the search can inspect
 // them; callers check Status.
 func (e *Engine) Step(st *State) ([]*State, error) {
-	if e.interrupted() {
-		return nil, ErrInterrupted
+	if err := e.tick(); err != nil {
+		return nil, err
 	}
 	if st.Status != StateRunning {
 		return nil, fmt.Errorf("symex: step on %s state %d", st.Status, st.ID)

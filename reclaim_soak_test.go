@@ -1,0 +1,295 @@
+package esd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"esd"
+	"esd/internal/expr"
+	"esd/internal/service"
+)
+
+// soakVariant builds the i-th distinct-source soak program: a small
+// input-dependent null-dereference crash whose constants (and therefore
+// whose interned symbolic terms) differ per variant, modeling a service
+// whose tenants upload ever-new programs. The mixer is deliberately
+// non-linear (xor/mul chains do not constant-fold), so symbolically
+// executing each variant interns a fresh batch of distinct terms — the
+// source-churning load the reclaim watermark exists for. trigger is the
+// input value that reproduces the crash.
+func soakVariant(i int) (name, src string, trigger int64) {
+	trigger = int64(40000 + 17*i)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// soak variant %d - input-dependent NULL dereference.\nint out;\nint table[8];\n\nint mix(int v) {\n\tint acc = v;\n", i)
+	for r := 0; r < 16; r++ {
+		mul := int64(100003+26*i+14*r) | 1 // odd multiplier, variant- and round-distinct
+		x1 := int64(777001 + 97*i + 31*r)
+		x2 := int64(555001 + 89*i + 29*r)
+		fmt.Fprintf(&b, "\tacc = (acc ^ %d) * %d;\n\tacc = acc + (v ^ %d);\n", x1, mul, x2)
+	}
+	fmt.Fprintf(&b, `	return acc;
+}
+
+int main() {
+	int k = input("k");
+	out = mix(k);
+	int *p = table;
+	if (k == %d) {
+		p = 0;
+	}
+	if (out != %d) {
+		return p[0];
+	}
+	return 0;
+}`, trigger, int64(600000+3*i))
+	return fmt.Sprintf("soak%d.c", i), b.String(), trigger
+}
+
+// soakOutcome is what must be identical between the reclaim and
+// no-reclaim runs: whether the bug was reproduced and the search effort.
+type soakOutcome struct {
+	Found bool `json:"found"`
+	Stats struct {
+		Steps int64 `json:"steps"`
+	} `json:"stats"`
+}
+
+// postSynthesize drives one /synthesize request and returns the outcome.
+func postSynthesize(t *testing.T, url string, body map[string]any) soakOutcome {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/synthesize", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d: %s", resp.StatusCode, buf.String())
+	}
+	var out soakOutcome
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("bad response %s: %v", buf.String(), err)
+	}
+	return out
+}
+
+// TestInternerReclaimSoak is the tentpole's acceptance gate: N
+// distinct-source /synthesize requests through a watermark-configured
+// engine must keep the interner footprint plateaued (within 2x the
+// watermark) instead of growing linearly, while every result — found flag
+// and step count, at a fixed seed — matches a no-reclaim reference run.
+func TestInternerReclaimSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives dozens of HTTP syntheses; skipped with -short")
+	}
+	const variants = 24
+	type vt struct {
+		name, src string
+		repJSON   json.RawMessage
+	}
+	vts := make([]vt, variants)
+	for i := range vts {
+		name, src, trigger := soakVariant(i)
+		prog, err := esd.CompileMiniC(name, src)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		rep, err := esd.SimulateUserSite(prog, &esd.UserInputs{Named: map[string]int64{"k": trigger}})
+		if err != nil {
+			t.Fatalf("variant %d user site: %v", i, err)
+		}
+		repJSON, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vts[i] = vt{name: name, src: src, repJSON: repJSON}
+	}
+
+	run := func(ts *httptest.Server) (outcomes []soakOutcome, perReq []int64, peak int64) {
+		for _, v := range vts {
+			before := expr.InternerStats().Bytes
+			out := postSynthesize(t, ts.URL, map[string]any{
+				"name": v.name, "source": v.src, "report": v.repJSON,
+				"seed": 1, "budget_ms": 60000,
+			})
+			outcomes = append(outcomes, out)
+			after := expr.InternerStats().Bytes
+			if after > peak {
+				peak = after
+			}
+			perReq = append(perReq, after-before)
+		}
+		return outcomes, perReq, peak
+	}
+
+	// Reference run: no watermark, append-only growth.
+	engRef := esd.New()
+	tsRef := httptest.NewServer(service.New(engRef, service.Config{}))
+	defer tsRef.Close()
+	ref, perReq, _ := run(tsRef)
+	for i, out := range ref {
+		if !out.Found {
+			t.Fatalf("reference run: variant %d not reproduced", i)
+		}
+	}
+	var avgGrowth int64
+	for _, g := range perReq {
+		avgGrowth += g
+	}
+	avgGrowth /= int64(len(perReq))
+	if avgGrowth <= 0 {
+		t.Fatalf("soak programs are not churning the interner (avg growth %d bytes/request)", avgGrowth)
+	}
+
+	// Reclaim run: sweep to the live baseline, then set the watermark a
+	// few requests' growth above it so sweeps must fire several times over
+	// the soak.
+	if _, ok := expr.TryReclaim(); !ok {
+		t.Fatal("could not establish the baseline sweep (something holds a pin)")
+	}
+	base := expr.InternerStats().Bytes
+	hw := base + 4*avgGrowth
+	if min := base + 16<<10; hw < min {
+		hw = min
+	}
+	eng := esd.New(esd.WithInternerHighWater(hw))
+	ts := httptest.NewServer(service.New(eng, service.Config{}))
+	defer ts.Close()
+	got, _, peak := run(ts)
+
+	for i := range got {
+		if got[i].Found != ref[i].Found || got[i].Stats.Steps != ref[i].Stats.Steps {
+			t.Errorf("variant %d diverged under reclamation: found=%v/%v steps=%d/%d",
+				i, got[i].Found, ref[i].Found, got[i].Stats.Steps, ref[i].Stats.Steps)
+		}
+	}
+	st := eng.Stats()
+	if st.Sweeps < 2 {
+		t.Errorf("watermark policy swept %d times, want >= 2 (hw=%d, avg growth %d/request)",
+			st.Sweeps, hw, avgGrowth)
+	}
+	if peak > 2*hw {
+		t.Errorf("interner footprint did not plateau: peak %d bytes > 2x watermark %d", peak, hw)
+	}
+	if final := expr.InternerStats().Bytes; final > 2*hw {
+		t.Errorf("final footprint %d bytes > 2x watermark %d", final, hw)
+	}
+	t.Logf("soak: %d variants, avg growth %d B/request, watermark %d B, peak %d B, sweeps %d, bytes reclaimed %d",
+		variants, avgGrowth, hw, peak, st.Sweeps, st.SweptBytes)
+}
+
+// TestReclaimUnderSaturation proves the forced-quiescence fallback: an
+// engine that is never idle (overlapping syntheses back-to-back) must
+// still reclaim once over the watermark — MaybeReclaim's rate-limited
+// ReclaimWait pauses admission until the in-flight runs drain. Without
+// the fallback, a saturated server never sees the zero-pin instant the
+// opportunistic path needs and leaks forever.
+func TestReclaimUnderSaturation(t *testing.T) {
+	restore := esd.SetSweepQuiesceTuning(2*time.Second, 10*time.Millisecond)
+	defer restore()
+	prog, rep := appProgReport(t, "listing1")
+	eng := esd.New(esd.WithMaxConcurrent(2), esd.WithInternerHighWater(1))
+
+	// Two workers keep the engine continuously busy: there is always at
+	// least one synthesis in flight for the duration.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := eng.Synthesize(context.Background(), prog, rep,
+					esd.WithBudget(time.Minute), esd.WithSeed(1))
+				if err != nil {
+					t.Errorf("synthesize under saturation: %v", err)
+					return
+				}
+				if !res.Found {
+					t.Error("listing1 not reproduced under saturation")
+					return
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().Sweeps == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if st := eng.Stats(); st.Sweeps == 0 {
+		t.Fatal("saturated engine never reclaimed: the quiescence fallback did not fire")
+	}
+}
+
+// TestReclaimQuiescenceUnderLoad proves the sweep gate: with an
+// always-over watermark and a goroutine hammering forced sweeps,
+// concurrent syntheses must never have the interner swept out from under
+// them — every run still reproduces its bug, no ErrEpochChanged
+// surfaces, and the race detector (CI runs this test under -race) sees
+// no unsynchronized access.
+func TestReclaimQuiescenceUnderLoad(t *testing.T) {
+	prog, rep := appProgReport(t, "listing1")
+	// Watermark of one byte: every completed synthesis attempts a sweep.
+	eng := esd.New(esd.WithMaxConcurrent(4), esd.WithInternerHighWater(1))
+
+	const workers = 3
+	const runsPerWorker = 3
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsPerWorker; i++ {
+				res, err := eng.Synthesize(context.Background(), prog, rep,
+					esd.WithBudget(time.Minute), esd.WithSeed(1))
+				if err != nil {
+					t.Errorf("synthesize under sweep pressure: %v", err)
+					return
+				}
+				if !res.Found {
+					t.Error("listing1 not reproduced under sweep pressure")
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	forced := 0
+	for {
+		select {
+		case <-done:
+			// Quiesced now: a forced sweep must succeed.
+			if _, ok := eng.Reclaim(); !ok {
+				t.Error("sweep still gated after all syntheses finished")
+			}
+			t.Logf("quiescence: %d forced sweeps interleaved with %d syntheses", forced, workers*runsPerWorker)
+			return
+		default:
+			if _, ok := eng.Reclaim(); ok {
+				forced++
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
