@@ -4,7 +4,7 @@
 // with synthesized executions.
 //
 //	esdserve -addr :8080 [-max-concurrent 4] [-default-budget 60s] [-max-budget 10m]
-//	         [-interner-high-water 268435456]
+//	         [-interner-high-water 268435456] [-debug-addr localhost:6060]
 //
 // Endpoints (see internal/service for the full wire contract):
 //
@@ -14,6 +14,12 @@
 //	POST /reclaim     force one interner epoch sweep (409 while busy)
 //	GET  /healthz     liveness + engine/interner observability (epochs,
 //	                  sweeps, bytes reclaimed)
+//	GET  /metrics     Prometheus text exposition of the telemetry registry
+//	                  plus engine/service series
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ — kept off the public address so profiling endpoints are
+// never exposed alongside the service API by accident.
 //
 // Example:
 //
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -42,6 +49,8 @@ func main() {
 		maxBudget     = flag.Duration("max-budget", 10*time.Minute, "cap on requested budgets")
 		highWater     = flag.Int64("interner-high-water", 256<<20,
 			"interned-term footprint (bytes) above which idle epoch sweeps reclaim dead terms (0 disables)")
+		debugAddr = flag.String("debug-addr", "",
+			"listen address for the pprof debug server (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
@@ -64,6 +73,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *debugAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serving that
+		// mux on a separate address keeps /debug/pprof/ off the API port.
+		go func() {
+			log.Printf("esdserve: pprof debug server on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil && err != http.ErrServerClosed {
+				log.Printf("esdserve: debug server: %v", err)
+			}
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		log.Printf("esdserve: shutting down")

@@ -6,6 +6,12 @@
 //
 // It reads the coredump, synthesizes an execution that reproduces the
 // reported bug, and writes the synthesized execution file for esdplay.
+//
+// Observability: -trace flight.json records a per-synthesis flight report
+// (phase transitions, sampled frontier snapshots, fork/prune/solver
+// counters); -metrics metrics.prom dumps the process-wide telemetry
+// registry in Prometheus text format after the run; -progress includes an
+// instantaneous step rate derived from event timestamps.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"esd"
 	"esd/internal/apps"
 	"esd/internal/report"
+	"esd/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +41,8 @@ func main() {
 		raceDet  = flag.Bool("with-race-det", false, "enable data-race detection during synthesis")
 		bound    = flag.Int("preemption-bound", 0, "use Chess-style preemption bounding (KC baseline)")
 		progress = flag.Bool("progress", false, "stream search progress to stderr")
+		traceOut = flag.String("trace", "", "write the per-synthesis flight report (JSON) to this file")
+		metrics  = flag.String("metrics", "", "write the telemetry registry (Prometheus text) to this file after the run")
 	)
 	flag.Parse()
 
@@ -84,15 +93,48 @@ func main() {
 	if *raceDet {
 		synthOpts = append(synthOpts, esd.WithRaceDetection())
 	}
+	if *traceOut != "" {
+		synthOpts = append(synthOpts, esd.WithTelemetry())
+	}
 	if *progress {
+		var lastTime time.Time
+		var lastSteps int64
 		synthOpts = append(synthOpts, esd.OnProgress(func(ev esd.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "[%7.2fs] %-7s steps=%-10d states=%-7d live=%-6d depth=%-8d best=%d\n",
-				ev.Elapsed.Seconds(), ev.Phase, ev.Steps, ev.States, ev.Live, ev.Depth, ev.BestDist)
+			rate := 0.0
+			if dt := ev.Time.Sub(lastTime); !lastTime.IsZero() && dt > 0 {
+				rate = float64(ev.Steps-lastSteps) / dt.Seconds()
+			}
+			lastTime, lastSteps = ev.Time, ev.Steps
+			fmt.Fprintf(os.Stderr, "[%7.2fs] %-7s steps=%-10d (%8.0f/s) states=%-7d live=%-6d depth=%-8d best=%d\n",
+				ev.Elapsed.Seconds(), ev.Phase, ev.Steps, rate, ev.States, ev.Live, ev.Depth, ev.BestDist)
 		}))
 	}
 	res, err := eng.Synthesize(ctx, prog, rep, synthOpts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if fr := res.Report(); fr != nil {
+			data, err := fr.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("flight report written to %s\n", *traceOut)
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		telemetry.WritePrometheus(f)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry registry written to %s\n", *metrics)
 	}
 	fmt.Printf("search: %.2fs, %d instructions, %d states, %d solver queries\n",
 		res.Stats.Duration.Seconds(), res.Stats.Steps, res.Stats.States, res.Stats.SolverQueries)

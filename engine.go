@@ -14,6 +14,7 @@ import (
 	"esd/internal/expr"
 	"esd/internal/search"
 	"esd/internal/solver"
+	"esd/internal/telemetry"
 	"esd/internal/trace"
 )
 
@@ -49,6 +50,7 @@ type Engine struct {
 	programs map[string]*Program // Compile cache, keyed by source hash
 
 	active      atomic.Int64
+	batchQueued atomic.Int64
 	synthesized atomic.Int64
 	found       atomic.Int64
 	compiled    atomic.Int64
@@ -266,6 +268,17 @@ func WithBatchWorkers(n int) SynthOption {
 	return func(o *search.Options) { o.BatchWorkers = n }
 }
 
+// WithTelemetry attaches a flight recorder to the call: the Result (each
+// result, for SynthesizeBatch) carries a Report with the run's counter
+// summary and a ring-buffered trace of phase transitions and sampled
+// frontier snapshots. Disabled, the recorder costs one nil check per
+// sample site; enabled, sampling is keyed to deterministic pick counts, so
+// the report's DeterministicJSON is byte-identical across replays of the
+// same seed.
+func WithTelemetry() SynthOption {
+	return func(o *search.Options) { o.Recorder = telemetry.NewRecorder(0) }
+}
+
 // Synthesize searches for an execution of prog that reproduces rep. It
 // honors ctx: cancellation aborts the search promptly (the VM polls the
 // context on a short step cadence) and is reported as Result.Cancelled;
@@ -288,6 +301,7 @@ func (e *Engine) synthesize(ctx context.Context, prog *Program, rep *BugReport, 
 }
 
 func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugReport, so search.Options) (*Result, error) {
+	reqStart := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -348,12 +362,16 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	}
 	emit := func(ph Phase) {
 		if so.OnProgress != nil {
-			so.OnProgress(ProgressEvent{Phase: ph, Elapsed: res.Duration, Steps: res.Steps, States: res.StatesCreated, SolverQueries: res.SolverQueries})
+			so.OnProgress(ProgressEvent{Phase: ph, Time: time.Now(), Elapsed: res.Duration, Steps: res.Steps, States: res.StatesCreated, SolverQueries: res.SolverQueries})
 		}
+		so.Recorder.Phase(ph.String(), res.Steps, res.StatesCreated)
 	}
+	var solveNS int64
 	if res.Found != nil {
 		emit(PhaseSolve)
+		solveStart := time.Now()
 		ex, err := trace.FromState(res.Found, so.Solver)
+		solveNS = time.Since(solveStart).Nanoseconds()
 		if err != nil {
 			return nil, fmt.Errorf("esd: solving synthesized path: %w", err)
 		}
@@ -362,7 +380,57 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 		e.found.Add(1)
 	}
 	emit(PhaseDone)
+	if so.Recorder != nil {
+		out.report = buildFlightReport(so, rep, res, solveNS, time.Since(reqStart))
+	}
 	return out, nil
+}
+
+// buildFlightReport assembles the WithTelemetry report from a finished
+// run: the search's deterministic counters and trace, plus the wall-clock
+// attribution section (which DeterministicJSON strips — wall times and
+// warm-solver cache hits vary run to run).
+func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, solveNS int64, total time.Duration) *telemetry.Report {
+	searchNS := res.Duration.Nanoseconds() - res.SolverWallNanos
+	if searchNS < 0 {
+		searchNS = 0
+	}
+	return &telemetry.Report{
+		Schema:     telemetry.ReportSchema,
+		Outcome:    res.Outcome(),
+		Strategy:   so.Strategy.String(),
+		Seed:       so.Seed,
+		GoalQueues: res.IntermediateGoalSets + len(rep.R.Goals()),
+		Steps:      res.Steps,
+		States:     res.StatesCreated,
+		MaxDepth:   res.MaxDepth,
+		Forks: map[string]int64{
+			"branch":              res.BranchForks,
+			"sched":               res.SchedForks,
+			"eager":               int64(res.EagerForks),
+			"snapshot":            int64(res.SnapshotsTaken),
+			"snapshot_activation": int64(res.SnapshotsActivated),
+		},
+		AgingPicks: res.AgingPicks,
+		Pruned: map[string]int64{
+			"critical_edge":     res.PrunedCritical,
+			"infinite_distance": res.PrunedInfinite,
+		},
+		Sheds: res.Sheds,
+		Solver: telemetry.SolverStats{
+			Queries:         int64(res.SolverQueries),
+			Concretizations: res.Concretizations,
+		},
+		Trace:        so.Recorder.Events(),
+		TraceDropped: so.Recorder.Dropped(),
+		Wall: &telemetry.WallStats{
+			TotalNS:         total.Nanoseconds(),
+			SearchNS:        searchNS,
+			SolverNS:        res.SolverWallNanos,
+			SolveNS:         solveNS,
+			SolverCacheHits: int64(res.SolverHits),
+		},
+	}
 }
 
 // SynthesizeBatch synthesizes every report against one program, fanning
@@ -405,11 +473,18 @@ func (e *Engine) SynthesizeBatch(ctx context.Context, prog *Program, reports []*
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				e.batchQueued.Add(-1)
 				if err := ctx.Err(); err != nil {
 					results[i] = &Result{Cancelled: true, Err: err}
 					continue
 				}
 				so := base
+				if so.Recorder != nil {
+					// A recorder is single-run state: the base one would be
+					// shared (and raced on) by every worker, so each report
+					// records into its own.
+					so.Recorder = telemetry.NewRecorder(0)
+				}
 				if so.OnProgress == nil {
 					so.OnProgress = e.onProgress
 				}
@@ -430,6 +505,9 @@ func (e *Engine) SynthesizeBatch(ctx context.Context, prog *Program, reports []*
 			}
 		}()
 	}
+	// The whole batch is queued up front (workers drain the unbuffered
+	// channel), so the gauge reports how many reports still await a worker.
+	e.batchQueued.Add(int64(len(reports)))
 	for i := range reports {
 		idx <- i
 	}
@@ -495,6 +573,9 @@ func (e *Engine) tryReclaim() (expr.ReclaimStats, bool) {
 type EngineStats struct {
 	// Active is the number of syntheses currently running.
 	Active int64 `json:"active"`
+	// BatchQueueDepth is the number of batch reports queued but not yet
+	// picked up by a worker, summed over in-flight SynthesizeBatch calls.
+	BatchQueueDepth int64 `json:"batch_queue_depth"`
 	// Synthesized counts completed synthesis calls; Found counts the
 	// subset that reproduced their bug.
 	Synthesized int64 `json:"synthesized"`
@@ -528,6 +609,7 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Unlock()
 	return EngineStats{
 		Active:            e.active.Load(),
+		BatchQueueDepth:   e.batchQueued.Load(),
 		Synthesized:       e.synthesized.Load(),
 		Found:             e.found.Load(),
 		ProgramsCompiled:  e.compiled.Load(),

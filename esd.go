@@ -47,6 +47,7 @@ import (
 	"esd/internal/report"
 	"esd/internal/search"
 	"esd/internal/symex"
+	"esd/internal/telemetry"
 	"esd/internal/trace"
 	"esd/internal/usersite"
 )
@@ -128,7 +129,21 @@ type Result struct {
 	// Err records a per-report failure inside SynthesizeBatch (always nil
 	// on results returned directly by Synthesize, which returns its error).
 	Err error
+
+	// report is the flight-recorder report, populated only when the call
+	// ran with WithTelemetry.
+	report *telemetry.Report
 }
+
+// FlightReport is the per-synthesis flight-recorder report: summary
+// counters plus a ring-buffered trace of phase transitions and sampled
+// frontier snapshots. Its DeterministicJSON is byte-identical across runs
+// of the same program, report, and seed.
+type FlightReport = telemetry.Report
+
+// Report returns the flight-recorder report of a synthesis run with
+// WithTelemetry, or nil when telemetry was off.
+func (r *Result) Report() *FlightReport { return r.report }
 
 // InternerStats is the global hash-consed term store's footprint.
 type InternerStats = expr.Stats

@@ -57,6 +57,7 @@ import (
 
 	"esd/internal/cfa"
 	"esd/internal/mir"
+	"esd/internal/telemetry"
 )
 
 // Infinite is the distance of a state that statically cannot reach the
@@ -89,7 +90,7 @@ type Calculator struct {
 // syncMetric returns (building on first use) the sync-operation metric.
 func (c *Calculator) syncMetric() *metric {
 	c.syncOnce.Do(func() {
-		c.syncM.Store(c.newMetric(func(op mir.Opcode) int64 {
+		c.syncM.Store(c.newMetric("sync", func(op mir.Opcode) int64 {
 			if op.IsSync() {
 				return 1
 			}
@@ -105,6 +106,11 @@ func (c *Calculator) syncMetric() *metric {
 type metric struct {
 	c    *Calculator
 	base func(op mir.Opcode) int64
+	// lookups/builds are this metric kind's cached children of the
+	// esd_dist_* counter families (resolved once here so the hot lookup
+	// path never touches the label map).
+	lookups *telemetry.Counter
+	builds  *telemetry.Counter
 	// through[f] is the cheapest entry-to-return cost of f (Infinite when
 	// f cannot return).
 	through map[string]int64
@@ -279,16 +285,19 @@ func NewCalculatorWith(cg *cfa.CallGraph) *Calculator {
 			}
 		}
 	}
-	c.steps = c.newMetric(func(mir.Opcode) int64 { return 1 })
+	c.steps = c.newMetric("steps", func(mir.Opcode) int64 { return 1 })
 	return c
 }
 
 // newMetric builds one cost model's goal-independent layer: the through
-// fixpoint and the per-function return-distance arrays.
-func (c *Calculator) newMetric(base func(mir.Opcode) int64) *metric {
+// fixpoint and the per-function return-distance arrays. name labels the
+// metric's telemetry series ("steps" or "sync").
+func (c *Calculator) newMetric(name string, base func(mir.Opcode) int64) *metric {
 	m := &metric{
 		c:       c,
 		base:    base,
+		lookups: distLookups.With(name),
+		builds:  distBuilds.With(name),
 		through: make(map[string]int64, len(c.prog.Funcs)),
 		retDist: make(map[string][]int64, len(c.prog.Funcs)),
 		goals:   map[mir.Loc]*goalTables{},
@@ -384,6 +393,7 @@ func (m *metric) relax(g *fnGraph, d []int64, pq *pqueue) {
 
 // tables returns (building if necessary) the memoized tables for goal.
 func (m *metric) tables(goal mir.Loc) *goalTables {
+	m.lookups.Inc()
 	m.mu.RLock()
 	gt := m.goals[goal]
 	m.mu.RUnlock()
@@ -406,6 +416,7 @@ func (m *metric) tables(goal mir.Loc) *goalTables {
 // loop terminates; the final round runs with converged entries, leaving
 // every stored table consistent.
 func (m *metric) computeGoal(goal mir.Loc, gt *goalTables) {
+	m.builds.Inc()
 	gt.toGoal = map[string][]int64{}
 	g := m.c.fns[goal.Fn]
 	if g == nil {

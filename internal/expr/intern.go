@@ -37,9 +37,23 @@ var (
 	termCount atomic.Int64
 	nameCount atomic.Int64
 	byteCount atomic.Int64
+	// internHits/internMisses count constructor traffic: a hit found the
+	// canonical node already published, a miss created it. The hit rate is
+	// the hash-consing effectiveness number the PR-2 rework was built on,
+	// now maintained continuously instead of re-derived in benchmarks.
+	internHits   atomic.Int64
+	internMisses atomic.Int64
 )
 
 const exprNodeSize = int64(unsafe.Sizeof(Expr{}))
+
+// accountTerms and accountNames are the single byte-accounting path: both
+// intern-time growth and reclaim-time release go through them, so
+// Stats.Bytes and ReclaimStats.BytesReclaimed can never use divergent
+// cost models (they previously recomputed node costs independently, which
+// let /healthz and /metrics disagree after a sweep).
+func accountTerms(n int64)            { termCount.Add(n); byteCount.Add(n * exprNodeSize) }
+func accountNames(n, nameBytes int64) { nameCount.Add(n); byteCount.Add(nameBytes) }
 
 // intern returns the canonical node for the given shape, creating and
 // publishing it if it is new. Children must already be interned, so the
@@ -51,6 +65,7 @@ func intern(op Op, c int64, name string, a, b, t, f *Expr) *Expr {
 	for _, x := range sh.m[h] {
 		if x.Op == op && x.C == c && x.Name == name && x.A == a && x.B == b && x.T == t && x.F == f {
 			sh.mu.Unlock()
+			internHits.Add(1)
 			return x
 		}
 	}
@@ -75,10 +90,10 @@ func intern(op Op, c int64, name string, a, b, t, f *Expr) *Expr {
 	}
 	sh.m[h] = append(sh.m[h], e)
 	sh.mu.Unlock()
-	termCount.Add(1)
+	internMisses.Add(1)
 	// Name bytes are counted by internName: every OpVar's name string is
 	// interned there and shares its backing array with Expr.Name.
-	byteCount.Add(exprNodeSize)
+	accountTerms(1)
 	return e
 }
 
@@ -159,8 +174,13 @@ type Stats struct {
 	// today, kept separate so epoch semantics can evolve independently).
 	Sweeps int64 `json:"sweeps"`
 	// BytesReclaimed is the cumulative estimate of bytes released by
-	// sweeps over the process lifetime.
+	// sweeps over the process lifetime. It shares one accounting path with
+	// Bytes (accountTerms/accountNames), so the two can never drift.
 	BytesReclaimed int64 `json:"bytes_reclaimed"`
+	// InternHits/InternMisses count constructor traffic: hits returned an
+	// already-published canonical node, misses created one.
+	InternHits   int64 `json:"intern_hits"`
+	InternMisses int64 `json:"intern_misses"`
 }
 
 // InternerStats snapshots the global interner. O(1): the counters are
@@ -175,6 +195,8 @@ func InternerStats() Stats {
 		Epoch:          epochCount.Load(),
 		Sweeps:         sweepCount.Load(),
 		BytesReclaimed: reclaimedBytes.Load(),
+		InternHits:     internHits.Load(),
+		InternMisses:   internMisses.Load(),
 	}
 }
 
@@ -212,8 +234,7 @@ func internName(s string) int32 {
 		nameTab.names = append(nameTab.names, s)
 	}
 	nameTab.ids[s] = id
-	nameCount.Add(1)
-	byteCount.Add(int64(len(s)))
+	accountNames(1, int64(len(s)))
 	return id
 }
 

@@ -291,10 +291,15 @@ func reclaim(roots []*Expr) ReclaimStats {
 		sort.Slice(nameTab.free, func(i, j int) bool { return nameTab.free[i] < nameTab.free[j] })
 	}
 
-	st.BytesReclaimed = int64(st.TermsReclaimed)*exprNodeSize + nameBytes
-	termCount.Add(-int64(st.TermsReclaimed))
-	nameCount.Add(-int64(st.NamesReclaimed))
-	byteCount.Add(-st.BytesReclaimed)
+	// Release through the same accounting helpers intern uses, and report
+	// BytesReclaimed as the measured byteCount delta. One accounting path
+	// means Stats.Bytes and the sweep's reclaimed-bytes figure cannot
+	// drift: /healthz and /metrics always agree. (No intern can interleave
+	// here — the shard and name-table locks are held for the whole sweep.)
+	bytesBefore := byteCount.Load()
+	accountTerms(-int64(st.TermsReclaimed))
+	accountNames(-int64(st.NamesReclaimed), -nameBytes)
+	st.BytesReclaimed = bytesBefore - byteCount.Load()
 	sweepCount.Add(1)
 	reclaimedBytes.Add(st.BytesReclaimed)
 	epochCount.Add(1)

@@ -41,6 +41,12 @@ func TestReclaimSweepsDeadTerms(t *testing.T) {
 	if after.BytesReclaimed-before.BytesReclaimed != st.BytesReclaimed {
 		t.Errorf("cumulative reclaimed-bytes counter off")
 	}
+	// Reconciliation invariant: the sweep's reported reclaim is exactly the
+	// footprint delta — one accounting path feeds both numbers.
+	if st.BytesReclaimed != before.Bytes-after.Bytes {
+		t.Errorf("sweep reported %d bytes reclaimed, footprint shrank by %d",
+			st.BytesReclaimed, before.Bytes-after.Bytes)
+	}
 
 	// Root identity preserved: rebuilding the same structure re-finds the
 	// same pointers.

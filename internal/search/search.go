@@ -32,6 +32,7 @@ import (
 	"esd/internal/sched"
 	"esd/internal/solver"
 	"esd/internal/symex"
+	"esd/internal/telemetry"
 )
 
 // Strategy selects the exploration order.
@@ -113,6 +114,11 @@ type Options struct {
 	// search loop: implementations must be fast and must not call back
 	// into the search.
 	OnProgress func(ProgressEvent)
+	// Recorder, when non-nil, receives the flight-recorder trace: phase
+	// transitions and frontier snapshots sampled on a deterministic
+	// pick-count cadence (never wall-clock), so two runs with the same seed
+	// record identical traces. A nil Recorder costs one pointer check.
+	Recorder *telemetry.Recorder
 	// BatchWorkers caps the engine's batch worker pool for one
 	// SynthesizeBatch call (0 = the engine default). The search itself
 	// ignores it; it rides in the canonical options record so every layer
@@ -159,6 +165,9 @@ type ProgressEvent struct {
 	// Report is the index of the report within a batch (0 outside
 	// batches; set by the batch driver, not the search).
 	Report int
+	// Time is the wall-clock timestamp of the event; consumers derive step
+	// rates from (Time, Steps) deltas without assuming a delivery cadence.
+	Time time.Time
 	// Elapsed is the wall-clock time since the run started.
 	Elapsed time.Duration
 	// Steps and States are the engine's cumulative work counters.
@@ -193,6 +202,18 @@ type Result struct {
 	BranchForks   int64
 	SolverQueries int
 	SolverHits    int
+	// SchedForks counts scheduling-policy forks (the sched share of the
+	// fork split; BranchForks is the symbolic-branch share).
+	SchedForks int64
+	// SolverWallNanos is this run's wall time spent inside solver.Check —
+	// Duration minus it is the search loop's own share.
+	SolverWallNanos int64
+	// Concretizations counts solver-backed term pinnings; EpochChecks
+	// counts interner-epoch cross-checks on the VM poll cadence.
+	Concretizations int64
+	EpochChecks     int64
+	// MaxDepth is the deepest path explored, in executed instructions.
+	MaxDepth int64
 
 	// OtherBugs are failures found along the way that do not match the
 	// report (recorded and skipped, §4.1).
@@ -202,8 +223,15 @@ type Result struct {
 	Terminals map[symex.StateStatus]int64
 	// StepErrors counts states abandoned on engine-level errors.
 	StepErrors int64
-	// Pruned counts states abandoned by the critical-edge/Infinite gates.
-	Pruned int64
+	// Pruned counts states abandoned by the critical-edge/Infinite gates;
+	// PrunedCritical and PrunedInfinite split it by gate.
+	Pruned         int64
+	PrunedCritical int64
+	PrunedInfinite int64
+	// AgingPicks counts FIFO aging picks; Sheds counts states dropped by
+	// pool-overflow shedding.
+	AgingPicks int64
+	Sheds      int64
 	// RaceFindings are potential races the detector flagged.
 	RaceFindings []race.Finding
 	// IntermediateGoalSets is the number of goal sets the static phase
@@ -214,6 +242,21 @@ type Result struct {
 	SnapshotsTaken     int
 	SnapshotsActivated int
 	EagerForks         int
+}
+
+// Outcome classifies the run for telemetry and reports: found | timeout |
+// cancelled | exhausted.
+func (r *Result) Outcome() string {
+	switch {
+	case r.Found != nil:
+		return "found"
+	case r.Cancelled:
+		return "cancelled"
+	case r.TimedOut:
+		return "timeout"
+	default:
+		return "exhausted"
+	}
 }
 
 // Synthesize searches for an execution of prog matching rep. The context
@@ -247,8 +290,10 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	start := time.Now()
 	emit := func(ph Phase, live int) {
 		if opts.OnProgress != nil {
-			opts.OnProgress(ProgressEvent{Phase: ph, Elapsed: time.Since(start), Live: live})
+			now := time.Now()
+			opts.OnProgress(ProgressEvent{Phase: ph, Time: now, Elapsed: now.Sub(start), Live: live})
 		}
+		opts.Recorder.Phase(ph.String(), 0, 0)
 	}
 	emit(PhaseAnalyze, 0)
 
@@ -271,6 +316,7 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		sol = solver.New()
 	}
 	baseQueries, baseHits := sol.Queries, sol.CacheHits
+	baseWall := sol.WallNanos
 	eng := symex.New(prog, sol)
 	eng.Ctx = ctx
 	calc := dist.ForProgram(cg)
@@ -350,8 +396,16 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	res.Steps = eng.Stats.Steps
 	res.StatesCreated = eng.Stats.States
 	res.BranchForks = eng.Stats.BranchForks
+	res.SchedForks = eng.Stats.SchedForks
+	res.Concretizations = eng.Stats.Concretizations
+	res.EpochChecks = eng.Stats.EpochChecks
 	res.SolverQueries = sol.Queries - baseQueries
 	res.SolverHits = sol.CacheHits - baseHits
+	res.SolverWallNanos = sol.WallNanos - baseWall
+	res.Pruned = res.PrunedCritical + res.PrunedInfinite
+	res.AgingPicks = s.agingPicks
+	res.Sheds = s.sheds
+	res.MaxDepth = s.maxDepth
 	if detector != nil {
 		res.RaceFindings = detector.Findings
 	}
@@ -360,6 +414,16 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		res.SnapshotsActivated = dp.SnapshotsActivated
 		res.EagerForks = dp.EagerForks
 	}
+	if found != nil {
+		opts.Recorder.Record(telemetry.Event{
+			Kind:          telemetry.EventFound,
+			Steps:         eng.Stats.Steps,
+			States:        eng.Stats.States,
+			Depth:         s.maxDepth,
+			SolverQueries: int64(res.SolverQueries),
+		})
+	}
+	flushTelemetry(s, res)
 	return res, nil
 }
 
@@ -411,6 +475,42 @@ type searcher struct {
 	// is what completes multi-party deadlock lineages.
 	fifo  []*symex.State
 	picks int
+
+	// Flight-recorder and per-run counters: allPicks drives the
+	// deterministic frontier-sampling cadence across all strategies;
+	// agingPicks and sheds are folded into the Result after the run.
+	allPicks   int
+	agingPicks int64
+	sheds      int64
+}
+
+// frontierSamplePeriod is the pick-count cadence of flight-recorder
+// frontier snapshots. Keying on picks (not wall time) is what keeps the
+// trace byte-identical across replays of the same seed.
+const frontierSamplePeriod = 256
+
+// sampleFrontier records a frontier snapshot every frontierSamplePeriod
+// picks. Every field is deterministic under strict replay: work counters,
+// pool size, depth, best fitness, and the query count (queries are issued
+// deterministically; only cache hits vary with solver warmth, and those
+// never enter the trace).
+func (s *searcher) sampleFrontier() {
+	if s.opts.Recorder == nil {
+		return
+	}
+	s.allPicks++
+	if s.allPicks%frontierSamplePeriod != 0 {
+		return
+	}
+	s.opts.Recorder.Record(telemetry.Event{
+		Kind:          telemetry.EventFrontier,
+		Steps:         s.eng.Stats.Steps,
+		States:        s.eng.Stats.States,
+		Live:          len(s.alive),
+		Depth:         s.maxDepth,
+		BestDist:      s.bestFit,
+		SolverQueries: int64(s.sol.Queries - s.solBase),
+	})
 }
 
 type heapEntry struct {
@@ -479,6 +579,7 @@ func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, time
 			return nil, true, false, nil
 		}
 		s.maybeProgress(now)
+		s.sampleFrontier()
 		st := s.pick()
 		if st == nil {
 			return nil, false, false, nil
@@ -517,12 +618,17 @@ func classifyCtxErr(err error) (timedOut, cancelled bool) {
 // maybeProgress emits a periodic PhaseSearch snapshot, rate-limited to one
 // per ProgressInterval.
 func (s *searcher) maybeProgress(now time.Time) {
-	if s.opts.OnProgress == nil || now.Sub(s.lastProgress) < s.opts.ProgressInterval {
+	if now.Sub(s.lastProgress) < s.opts.ProgressInterval {
 		return
 	}
 	s.lastProgress = now
+	searchFrontier.Observe(int64(len(s.alive)))
+	if s.opts.OnProgress == nil {
+		return
+	}
 	s.opts.OnProgress(ProgressEvent{
 		Phase:         PhaseSearch,
+		Time:          now,
 		Elapsed:       now.Sub(s.start),
 		Steps:         s.eng.Stats.Steps,
 		States:        s.eng.Stats.States,
@@ -627,6 +733,7 @@ func (s *searcher) pickESD() *symex.State {
 		s.picks++
 		if s.picks%agingPeriod == 0 {
 			if st := s.pickFIFO(); st != nil {
+				s.agingPicks++
 				return st
 			}
 		}
@@ -827,8 +934,8 @@ func (s *searcher) quantum(st *symex.State, res *Result) (*symex.State, error) {
 			return s.terminal(st, res), nil
 		}
 	}
-	if s.prunable(st) {
-		res.Pruned++
+	if reason := s.prunable(st); reason != "" {
+		s.countPrune(res, reason)
 		return nil, nil // statically cannot reach the goal: abandon (§3.2)
 	}
 	s.insert(st)
@@ -841,12 +948,21 @@ func (s *searcher) admit(f *symex.State, res *Result) *symex.State {
 	if f.Status != symex.StateRunning {
 		return s.terminal(f, res)
 	}
-	if s.prunable(f) {
-		res.Pruned++
+	if reason := s.prunable(f); reason != "" {
+		s.countPrune(res, reason)
 		return nil
 	}
 	s.insert(f)
 	return nil
+}
+
+// countPrune splits abandoned states by the gate that proved them dead.
+func (s *searcher) countPrune(res *Result, reason string) {
+	if reason == pruneCritical {
+		res.PrunedCritical++
+	} else {
+		res.PrunedInfinite++
+	}
 }
 
 // terminal classifies a finished state: the reported bug, a different bug,
@@ -870,18 +986,25 @@ func (s *searcher) terminal(st *symex.State, res *Result) *symex.State {
 	return nil
 }
 
+// Prune-gate reasons (the esd_search_pruned_total label values).
+const (
+	pruneCritical = "critical_edge"
+	pruneInfinite = "infinite_distance"
+)
+
 // prunable implements critical-edge path abandonment: a state none of
-// whose threads can still reach some goal is dead (§3.2, §3.3).
-func (s *searcher) prunable(st *symex.State) bool {
+// whose threads can still reach some goal is dead (§3.2, §3.3). It returns
+// the gate that proved the state dead ("" when it stays live).
+func (s *searcher) prunable(st *symex.State) string {
 	if s.opts.Ablate.NoCriticalEdges || s.opts.Strategy != StrategyESD {
-		return false
+		return ""
 	}
 	// Deadlock schedule synthesis deliberately runs threads PAST their
 	// goal locks and rolls them back through K_S snapshots (§4.1); as long
 	// as a state can still be rolled back, static reachability of its
 	// current program points is not evidence of deadness.
 	if s.rep.Kind == report.KindDeadlock && len(st.Snapshots) > 0 {
-		return false
+		return ""
 	}
 	for _, a := range s.analyses {
 		reachable := false
@@ -895,7 +1018,7 @@ func (s *searcher) prunable(st *symex.State) bool {
 			}
 		}
 		if !reachable {
-			return true
+			return pruneCritical
 		}
 	}
 	// Second gate: the proximity calculator's Infinite is an instruction-
@@ -905,14 +1028,14 @@ func (s *searcher) prunable(st *symex.State) bool {
 	// its blocks look goal-reaching). Gated on NoProximity so the §7.3
 	// ablation really runs without any distance information.
 	if s.opts.Ablate.NoProximity {
-		return false
+		return ""
 	}
 	for _, g := range s.finalGoals {
 		if s.stateDistance(st, []mir.Loc{g}) >= dist.Infinite {
-			return true
+			return pruneInfinite
 		}
 	}
-	return false
+	return ""
 }
 
 // shedStates drops the worst states when the pool overflows: keep the half
@@ -929,6 +1052,14 @@ func (s *searcher) shedStates() {
 	}
 	sort.Slice(arr, func(i, j int) bool { return arr[i].k.less(arr[j].k) })
 	keep := len(arr) / 2
+	s.sheds += int64(len(arr) - keep)
+	s.opts.Recorder.Record(telemetry.Event{
+		Kind:   telemetry.EventShed,
+		Steps:  s.eng.Stats.Steps,
+		States: s.eng.Stats.States,
+		Live:   keep,
+		Depth:  s.maxDepth,
+	})
 	s.alive = make(map[*symex.State]bool, keep)
 	s.pool = s.pool[:0]
 	s.fifo = nil // drop the backing array: shed states must become collectable

@@ -1,0 +1,58 @@
+package search
+
+import "esd/internal/telemetry"
+
+// Search/VM instruments, flushed once per synthesis from the run's final
+// counters (see Synthesize) rather than incremented on the hot path: the
+// per-run numbers already exist in symex.Stats and Result, so the registry
+// costs nothing while the search loop runs.
+var (
+	vmSteps = telemetry.NewCounter("esd_vm_steps_total",
+		"Instructions executed by the symbolic VM.")
+	vmStates = telemetry.NewCounter("esd_vm_states_total",
+		"Execution states created (initial states plus every fork).")
+	vmConcretizations = telemetry.NewCounter("esd_vm_concretizations_total",
+		"Symbolic terms pinned to concrete values via a solver model.")
+	vmEpochChecks = telemetry.NewCounter("esd_vm_epoch_checks_total",
+		"Interner-epoch cross-checks performed on the VM poll cadence.")
+
+	searchForks = telemetry.NewCounterVec("esd_search_forks_total",
+		"State forks absorbed by the search, by kind (branch = symbolic branch, sched = scheduling-policy fork, eager = deadlock pre-acquisition fork, snapshot = K_S snapshot taken, snapshot_activation = snapshot rollback activated).",
+		"kind")
+	searchAgingPicks = telemetry.NewCounter("esd_search_aging_picks_total",
+		"FIFO aging picks (the anti-starvation quarter of ESD picks).")
+	searchPruned = telemetry.NewCounterVec("esd_search_pruned_total",
+		"States abandoned by static unreachability gates, by gate (critical_edge = block-level reachability, infinite_distance = instruction-granular proximity proof).",
+		"reason")
+	searchSheds = telemetry.NewCounter("esd_search_sheds_total",
+		"States dropped by pool-overflow shedding.")
+	searchFrontier = telemetry.NewHistogram("esd_search_frontier_size",
+		"Live-state pool size sampled on the progress cadence.", 1)
+
+	syntheses = telemetry.NewCounterVec("esd_syntheses_total",
+		"Completed synthesis runs, by outcome.",
+		"outcome")
+	synthesisDuration = telemetry.NewHistogram("esd_synthesis_duration_seconds",
+		"End-to-end synthesis wall time.", 1e-9)
+)
+
+// flushTelemetry folds one finished run's counters into the process-wide
+// registry.
+func flushTelemetry(s *searcher, res *Result) {
+	st := s.eng.Stats
+	vmSteps.Add(st.Steps)
+	vmStates.Add(st.States)
+	vmConcretizations.Add(st.Concretizations)
+	vmEpochChecks.Add(st.EpochChecks)
+	searchForks.With("branch").Add(st.BranchForks)
+	searchForks.With("sched").Add(st.SchedForks)
+	searchForks.With("eager").Add(int64(res.EagerForks))
+	searchForks.With("snapshot").Add(int64(res.SnapshotsTaken))
+	searchForks.With("snapshot_activation").Add(int64(res.SnapshotsActivated))
+	searchAgingPicks.Add(res.AgingPicks)
+	searchPruned.With(pruneCritical).Add(res.PrunedCritical)
+	searchPruned.With(pruneInfinite).Add(res.PrunedInfinite)
+	searchSheds.Add(res.Sheds)
+	syntheses.With(res.Outcome()).Inc()
+	synthesisDuration.Observe(res.Duration.Nanoseconds())
+}

@@ -17,8 +17,13 @@
 //	                 -> {"results": [...]} (streaming is rejected with 400)
 //	POST /reclaim    -> force one interner epoch sweep (409 while busy)
 //	GET  /healthz    -> {"status": "ok", "uptime_ms", "capacity", "active",
+//	                     "compile_cache_hits", "batch_queue_depth",
 //	                     "engine": {...}, "interner": {... epoch, sweeps,
 //	                     bytes_reclaimed}}
+//	GET  /metrics    -> Prometheus text exposition: the process-wide
+//	                    telemetry registry (search, VM, solver, dist,
+//	                    interner series) plus esd_engine_*/esd_service_*
+//	                    series rendered from this server's engine
 //
 // Synthesis and batch requests are admission-controlled by a concurrency
 // limit (429 + Retry-After when saturated) and budget-capped per request.
@@ -40,6 +45,7 @@ import (
 	"esd/internal/apps"
 	"esd/internal/expr"
 	"esd/internal/report"
+	"esd/internal/telemetry"
 )
 
 // Config tunes a Server.
@@ -108,6 +114,7 @@ func New(eng *esd.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
 	s.mux.HandleFunc("POST /reclaim", s.handleReclaim)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -144,6 +151,9 @@ type synthesizeRequest struct {
 	Strategy        string `json:"strategy,omitempty"` // esd | dfs | randpath
 	PreemptionBound int    `json:"preemption_bound,omitempty"`
 	RaceDetector    bool   `json:"race_detector,omitempty"`
+	// Telemetry attaches a flight recorder to the synthesis; the result
+	// (each result, for /batch) then carries a "telemetry" report.
+	Telemetry bool `json:"telemetry,omitempty"`
 	// Stream switches the response to SSE progress + final result.
 	Stream bool `json:"stream,omitempty"`
 }
@@ -168,19 +178,25 @@ type resultJSON struct {
 	Execution json.RawMessage `json:"execution,omitempty"`
 	OtherBugs []string        `json:"other_bugs,omitempty"`
 	Stats     statsJSON       `json:"stats"`
-	Error     string          `json:"error,omitempty"`
+	// Telemetry is the flight-recorder report (requests with
+	// "telemetry": true only).
+	Telemetry *esd.FlightReport `json:"telemetry,omitempty"`
+	Error     string            `json:"error,omitempty"`
 }
 
 type progressJSON struct {
-	Phase         string `json:"phase"`
-	Report        int    `json:"report,omitempty"`
-	ElapsedMS     int64  `json:"elapsed_ms"`
-	Steps         int64  `json:"steps"`
-	States        int64  `json:"states"`
-	Live          int    `json:"live"`
-	Depth         int64  `json:"depth"`
-	BestDist      int64  `json:"best_dist"`
-	SolverQueries int    `json:"solver_queries"`
+	Phase  string `json:"phase"`
+	Report int    `json:"report,omitempty"`
+	// TSMS is the event's wall-clock timestamp (Unix milliseconds);
+	// consumers derive step rates from (ts_ms, steps) deltas.
+	TSMS          int64 `json:"ts_ms"`
+	ElapsedMS     int64 `json:"elapsed_ms"`
+	Steps         int64 `json:"steps"`
+	States        int64 `json:"states"`
+	Live          int   `json:"live"`
+	Depth         int64 `json:"depth"`
+	BestDist      int64 `json:"best_dist"`
+	SolverQueries int   `json:"solver_queries"`
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -297,6 +313,9 @@ func (s *Server) options(req *synthesizeRequest) ([]esd.SynthOption, error) {
 	}
 	if req.RaceDetector {
 		opts = append(opts, esd.WithRaceDetection())
+	}
+	if req.Telemetry {
+		opts = append(opts, esd.WithTelemetry())
 	}
 	return opts, nil
 }
@@ -500,14 +519,52 @@ func (s *Server) handleReclaim(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// One Stats() snapshot serves both the nested engine block and the
+	// promoted top-level fields, so the two can never disagree.
+	st := s.eng.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"uptime_ms": time.Since(s.start).Milliseconds(),
-		"capacity":  s.cfg.MaxConcurrent,
-		"active":    len(s.sem),
-		"engine":    s.eng.Stats(),
-		"interner":  expr.InternerStats(),
+		"status":             "ok",
+		"uptime_ms":          time.Since(s.start).Milliseconds(),
+		"capacity":           s.cfg.MaxConcurrent,
+		"active":             len(s.sem),
+		"compile_cache_hits": st.CompileCacheHits,
+		"batch_queue_depth":  st.BatchQueueDepth,
+		"engine":             st,
+		"interner":           expr.InternerStats(),
 	})
+}
+
+// handleMetrics renders the Prometheus text exposition: the process-wide
+// telemetry registry first, then engine/service series derived from one
+// EngineStats snapshot. Engine series are written here rather than
+// registered globally because the registry is process-wide and
+// panics on duplicate names — a process may hold many engines (tests do),
+// but a server exposes exactly one.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w)
+
+	st := s.eng.Stats()
+	series := []struct {
+		name, typ, help string
+		value           int64
+	}{
+		{"esd_engine_active", "gauge", "Syntheses currently running on this server's engine.", st.Active},
+		{"esd_engine_batch_queue_depth", "gauge", "Batch reports queued but not yet picked up by a worker.", st.BatchQueueDepth},
+		{"esd_engine_synthesized_total", "counter", "Completed synthesis calls.", st.Synthesized},
+		{"esd_engine_found_total", "counter", "Syntheses that reproduced their bug.", st.Found},
+		{"esd_engine_programs_compiled_total", "counter", "Compile calls that built a new program.", st.ProgramsCompiled},
+		{"esd_engine_compile_cache_hits_total", "counter", "Compile calls served from the source-keyed memo.", st.CompileCacheHits},
+		{"esd_engine_programs_cached", "gauge", "Programs currently held by the compile memo.", int64(st.ProgramsCached)},
+		{"esd_engine_sweeps_total", "counter", "Interner epoch sweeps triggered by this engine.", st.Sweeps},
+		{"esd_engine_swept_bytes_total", "counter", "Bytes released by this engine's sweeps.", st.SweptBytes},
+		{"esd_engine_interner_high_water_bytes", "gauge", "This engine's reclaim watermark (0 = reclamation disabled).", st.InternerHighWater},
+		{"esd_service_capacity", "gauge", "Admission-control concurrency limit.", int64(s.cfg.MaxConcurrent)},
+		{"esd_service_active", "gauge", "Synthesis slots currently held by requests.", int64(len(s.sem))},
+	}
+	for _, m := range series {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
 }
 
 // --- helpers ----------------------------------------------------------------
@@ -532,6 +589,7 @@ func toResultJSON(res *esd.Result) resultJSON {
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 	}
+	out.Telemetry = res.Report()
 	if res.Execution != nil {
 		if data, err := res.Execution.JSON(); err == nil {
 			out.Execution = data
@@ -544,6 +602,7 @@ func toProgressJSON(ev esd.ProgressEvent) progressJSON {
 	return progressJSON{
 		Phase:         ev.Phase.String(),
 		Report:        ev.Report,
+		TSMS:          ev.Time.UnixMilli(),
 		ElapsedMS:     ev.Elapsed.Milliseconds(),
 		Steps:         ev.Steps,
 		States:        ev.States,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -318,7 +319,7 @@ func TestServiceSSEStream(t *testing.T) {
 	}
 	sc := bufio.NewScanner(resp.Body)
 	var events []string
-	var lastData string
+	var lastData, progressData string
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "event: ") {
@@ -326,6 +327,9 @@ func TestServiceSSEStream(t *testing.T) {
 		}
 		if strings.HasPrefix(line, "data: ") {
 			lastData = strings.TrimPrefix(line, "data: ")
+			if len(events) > 0 && events[len(events)-1] == "progress" {
+				progressData = lastData
+			}
 		}
 	}
 	if len(events) == 0 {
@@ -347,6 +351,19 @@ func TestServiceSSEStream(t *testing.T) {
 	}
 	if !res.Found {
 		t.Fatalf("streamed result not found: %s", lastData)
+	}
+	// Progress events carry a wall-clock timestamp for client-side step
+	// rates.
+	if progressData != "" {
+		var ev struct {
+			TSMS int64 `json:"ts_ms"`
+		}
+		if err := json.Unmarshal([]byte(progressData), &ev); err != nil {
+			t.Fatalf("bad progress payload %q: %v", progressData, err)
+		}
+		if ev.TSMS <= 0 {
+			t.Errorf("progress event missing ts_ms: %s", progressData)
+		}
 	}
 }
 
@@ -386,9 +403,11 @@ func TestServiceHealthz(t *testing.T) {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
 	var h struct {
-		Status   string `json:"status"`
-		Capacity int    `json:"capacity"`
-		Interner struct {
+		Status           string `json:"status"`
+		Capacity         int    `json:"capacity"`
+		CompileCacheHits *int64 `json:"compile_cache_hits"`
+		BatchQueueDepth  *int64 `json:"batch_queue_depth"`
+		Interner         struct {
 			Terms  int   `json:"terms"`
 			Bytes  int64 `json:"bytes"`
 			Shards int   `json:"shards"`
@@ -405,6 +424,157 @@ func TestServiceHealthz(t *testing.T) {
 	}
 	if h.Interner.Terms <= 0 || h.Interner.Bytes <= 0 || h.Interner.Shards <= 0 {
 		t.Errorf("interner stats missing: %s", buf.String())
+	}
+	if h.CompileCacheHits == nil || h.BatchQueueDepth == nil {
+		t.Errorf("healthz missing promoted compile_cache_hits/batch_queue_depth: %s", buf.String())
+	}
+}
+
+// scrapeMetrics GETs /metrics and parses the Prometheus text exposition
+// into series-name (including labels) → value, failing on any line that
+// does not follow the format.
+func scrapeMetrics(t *testing.T, baseURL string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type = %q, want Prometheus text 0.0.4", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample line is "<name>{labels} <value>" or "<name> <value>".
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		name, valStr := line[:i], line[i+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate series %q", name)
+		}
+		out[name] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServiceMetrics scrapes /metrics after two syntheses and checks the
+// exposition parses, carries the key series (the ISSUE's acceptance list:
+// solver traffic, per-policy fork counts, engine/service series), and
+// that counters are monotonic across syntheses.
+func TestServiceMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{MaxConcurrent: 3})
+	synth := func() {
+		resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+			"app": "listing1", "budget_ms": 60000, "seed": 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("synthesize: %d %s", resp.StatusCode, body)
+		}
+	}
+	synth()
+	first := scrapeMetrics(t, ts.URL)
+	synth()
+	second := scrapeMetrics(t, ts.URL)
+
+	for _, name := range []string{
+		`esd_syntheses_total{outcome="found"}`,
+		`esd_search_forks_total{kind="branch"}`,
+		`esd_search_forks_total{kind="sched"}`,
+		"esd_solver_queries_total",
+		"esd_solver_wall_nanoseconds_total",
+		"esd_vm_steps_total",
+		"esd_interner_terms",
+		`esd_dist_lookups_total{metric="steps"}`,
+		"esd_synthesis_duration_seconds_count",
+		"esd_engine_synthesized_total",
+		"esd_engine_compile_cache_hits_total",
+		"esd_engine_batch_queue_depth",
+		"esd_service_capacity",
+		"esd_service_active",
+	} {
+		if _, ok := second[name]; !ok {
+			t.Errorf("missing series %s", name)
+		}
+	}
+	if got := second["esd_service_capacity"]; got != 3 {
+		t.Errorf("esd_service_capacity = %v, want 3", got)
+	}
+	// Counters must be monotonic, and the per-run ones must actually move
+	// between the two scrapes. (The registry is process-wide, so absolute
+	// values include other tests' runs — only deltas are assertable.)
+	for _, name := range []string{
+		`esd_syntheses_total{outcome="found"}`,
+		"esd_vm_steps_total",
+		"esd_solver_queries_total",
+		"esd_engine_synthesized_total",
+	} {
+		if second[name] <= first[name] {
+			t.Errorf("%s did not increase across a synthesis: %v -> %v", name, first[name], second[name])
+		}
+	}
+}
+
+// TestServiceTelemetryInResponse: "telemetry": true attaches a flight
+// report to the wire result; without it the field is absent.
+func TestServiceTelemetryInResponse(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1, "telemetry": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Found     bool `json:"found"`
+		Telemetry *struct {
+			Schema  string            `json:"schema"`
+			Outcome string            `json:"outcome"`
+			Forks   map[string]int64  `json:"forks"`
+			Trace   []json.RawMessage `json:"trace"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !res.Found {
+		t.Fatalf("not found: %s", body)
+	}
+	if res.Telemetry == nil {
+		t.Fatalf("no telemetry report in response: %s", body)
+	}
+	if res.Telemetry.Schema != "esd.flight/v1" || res.Telemetry.Outcome != "found" {
+		t.Errorf("telemetry header = %q/%q", res.Telemetry.Schema, res.Telemetry.Outcome)
+	}
+	if len(res.Telemetry.Trace) == 0 || len(res.Telemetry.Forks) == 0 {
+		t.Errorf("telemetry report missing trace or forks: %s", body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), `"telemetry"`) {
+		t.Errorf("telemetry report present without the request flag: %s", body)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"esd/internal/expr"
 )
@@ -79,6 +80,10 @@ type Solver struct {
 	// Stats
 	Queries   int
 	CacheHits int
+	// WallNanos accumulates wall time spent inside Check. Search reads its
+	// delta around every query batch to attribute synthesis wall time to the
+	// solver versus the search loop.
+	WallNanos int64
 }
 
 type cacheEntry struct {
@@ -227,6 +232,12 @@ func (l linear) add(o linear) linear {
 // terms. On Sat, the returned model maps every free variable to a value
 // that is verified to satisfy all constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
+	start := time.Now()
+	defer func() {
+		ns := time.Since(start).Nanoseconds()
+		s.WallNanos += ns
+		solverWall.Add(ns)
+	}()
 	if ep := expr.Epoch(); ep != s.epoch {
 		// A reclaim sweep happened since the cache was filled: its entries
 		// describe terms from a reclaimed epoch. Flush rather than let a
@@ -237,11 +248,14 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 		}
 	}
 	s.Queries++
+	solverQueries.Inc()
 	key, ids := identKey(constraints)
 	if ent, ok := s.cacheGet(key, ids); ok {
 		s.CacheHits++
+		queryHits.Inc()
 		return ent.res, ent.model
 	}
+	queryMisses.Inc()
 
 	cs := flatten(constraints)
 	// Trivial scan first.
@@ -264,6 +278,7 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	// at a time, so all but the touched component hit the cache.
 	res, model := Sat, map[string]int64{}
 	for _, comp := range partition(cs) {
+		solverComponentSize.Observe(int64(len(comp)))
 		r, m := s.checkComponent(comp)
 		if r == Unsat {
 			res, model = Unsat, nil
@@ -293,8 +308,10 @@ func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
 	key, ids := identKey(cs)
 	if ent, ok := s.cacheGet(key, ids); ok {
 		s.CacheHits++
+		componentHits.Inc()
 		return ent.res, ent.model
 	}
+	componentMisses.Inc()
 	st := &searchState{
 		solver:  s,
 		budget:  s.MaxNodes,

@@ -1,0 +1,27 @@
+package solver
+
+import "esd/internal/telemetry"
+
+// Process-wide solver instruments. Per-Solver Queries/CacheHits/WallNanos
+// fields stay the per-run attribution source (search reads their deltas);
+// these aggregate the same events across every pooled solver so /metrics
+// shows the fleet-wide solver-vs-search split.
+var (
+	solverQueries = telemetry.NewCounter("esd_solver_queries_total",
+		"Satisfiability queries issued (Check calls).")
+	solverWall = telemetry.NewCounter("esd_solver_wall_nanoseconds_total",
+		"Cumulative wall time spent inside solver.Check.")
+	solverCacheHits = telemetry.NewCounterVec("esd_solver_cache_hits_total",
+		"Memoized-answer hits, by cache layer (query = full constraint set, component = independence partition).",
+		"cache")
+	solverCacheMisses = telemetry.NewCounterVec("esd_solver_cache_misses_total",
+		"Memoized-answer misses, by cache layer.",
+		"cache")
+	solverComponentSize = telemetry.NewHistogram("esd_solver_component_size",
+		"Conjuncts per independence-partition component decided by Check.", 1)
+
+	queryHits       = solverCacheHits.With("query")
+	queryMisses     = solverCacheMisses.With("query")
+	componentHits   = solverCacheHits.With("component")
+	componentMisses = solverCacheMisses.With("component")
+)

@@ -68,13 +68,21 @@ type RaceDetector interface {
 	Record(st *State, tid int, obj int, off int64, write bool, loc mir.Loc, held []MutexKey)
 }
 
-// Stats counts engine work for the evaluation harness.
+// Stats counts engine work for the evaluation harness. Everything here is
+// deterministic under strict replay (step-count-driven, never wall-clock),
+// which is what lets the flight recorder echo these numbers verbatim.
 type Stats struct {
 	Steps       int64
 	Forks       int64
 	BranchForks int64
 	SchedForks  int64
 	States      int64
+	// Concretizations counts symbolic values pinned to concrete ones via a
+	// solver model (the §5.2 playback mechanism applied mid-search).
+	Concretizations int64
+	// EpochChecks counts interner-epoch cross-checks performed on the
+	// context-poll cadence (the PR-5 use-after-sweep guard).
+	EpochChecks int64
 }
 
 // Engine executes MIR programs symbolically.
@@ -125,6 +133,7 @@ func (e *Engine) tick() error {
 		default:
 		}
 	}
+	e.Stats.EpochChecks++
 	if expr.Epoch() != e.epoch {
 		return ErrEpochChanged
 	}
@@ -218,6 +227,7 @@ func (e *Engine) Step(st *State) ([]*State, error) {
 	if e.Policy != nil && !approved && e.isPreemptionPoint(st, in) {
 		st.syncApproved = &syncApproval{Tid: t.ID, Loc: loc}
 		extra := e.Policy.BeforeSync(e, st, in)
+		e.Stats.SchedForks += int64(len(extra))
 		if len(extra) > 0 {
 			out := make([]*State, 0, 1+len(extra))
 			out = append(out, st)

@@ -107,6 +107,10 @@ func (e *Engine) concretize(st *State, v *expr.Expr) (int64, bool) {
 	if lo, hi := st.Box.EvalRange(v); lo == hi {
 		return lo, true
 	}
+	// Only solver-backed pinnings count: the const and box fast paths above
+	// are free, and the interesting number is how often a path had to pay a
+	// query (and gained a pinning constraint) to make a term concrete.
+	e.Stats.Concretizations++
 	res, model := e.Solver.Check(st.Constraints)
 	if res != solver.Sat {
 		return 0, false

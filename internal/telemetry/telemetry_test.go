@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	c.Add(-3)
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value after non-positive adds = %d, want 5 (counters are monotonic)", got)
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(1)
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if got := nilG.Value(); got != 0 {
+		t.Fatalf("nil gauge Value = %d, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{scale: 1}
+	// Bucket edges: v <= 1 → bucket 0; 1 < v <= 2 → bucket 1; 2 < v <= 4 → 2.
+	for _, v := range []int64{0, 1, 2, 3, 4, 5, -7} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 15 { // -7 clamps to 0
+		t.Fatalf("Sum = %d, want 15", got)
+	}
+	want := map[int]int64{0: 3, 1: 1, 2: 2, 3: 1} // {0,1,-7}, {2}, {3,4}, {5}
+	for i, n := range want {
+		if got := h.buckets[i].Load(); got != n {
+			t.Errorf("bucket[%d] = %d, want %d", i, got, n)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("x_total", "help", "kind")
+	v.With("a").Add(2)
+	v.With("a").Inc()
+	v.With("b").Inc()
+	if got := v.With("a").Value(); got != 3 {
+		t.Fatalf(`With("a") = %d, want 3`, got)
+	}
+	if got := v.With("b").Value(); got != 1 {
+		t.Fatalf(`With("b") = %d, want 1`, got)
+	}
+	var nilV *CounterVec
+	nilV.With("a").Inc() // must not panic
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a duplicate name did not panic")
+		}
+	}()
+	r.NewGauge("dup", "h")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "counter help").Add(7)
+	r.NewGauge("a_gauge", "gauge help").Set(-3)
+	r.NewCounterFunc("c_view_total", "view help", func() int64 { return 42 })
+	v := r.NewCounterVec("d_total", "vec help", "kind")
+	v.With("zz").Inc()
+	v.With("aa").Add(2)
+	h := r.NewHistogram("e_seconds", "hist help", 1e-9)
+	h.Observe(1500) // 1.5µs → bucket le=2048ns = 2.048e-06s
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Families sorted by name, children sorted by label value.
+	wantOrder := []string{
+		"# HELP a_gauge gauge help",
+		"# TYPE a_gauge gauge",
+		"a_gauge -3",
+		"# TYPE b_total counter",
+		"b_total 7",
+		"c_view_total 42",
+		`d_total{kind="aa"} 2`,
+		`d_total{kind="zz"} 1`,
+		"# TYPE e_seconds histogram",
+		`e_seconds_bucket{le="+Inf"} 1`,
+		"e_seconds_sum 1.5e-06",
+		"e_seconds_count 1",
+	}
+	pos := 0
+	for _, want := range wantOrder {
+		i := strings.Index(out[pos:], want)
+		if i < 0 {
+			t.Fatalf("output missing (or out of order) %q\n--- got ---\n%s", want, out)
+		}
+		pos += i + len(want)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: EventFrontier, Steps: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len(Events) = %d, want 3", len(evs))
+	}
+	// Oldest two evicted; retained window is seq 2..4 in order.
+	for i, ev := range evs {
+		if want := i + 2; ev.Seq != want || ev.Steps != int64(want) {
+			t.Fatalf("event %d = {Seq:%d Steps:%d}, want seq/steps %d", i, ev.Seq, ev.Steps, want)
+		}
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: EventShed})
+	r.Phase("search", 1, 1)
+	if r.Events() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder must be a no-op")
+	}
+}
+
+func TestDeterministicJSONStripsWall(t *testing.T) {
+	rep := &Report{
+		Schema:  ReportSchema,
+		Outcome: "found",
+		Wall:    &WallStats{TotalNS: 123, SolverCacheHits: 9},
+	}
+	full, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := rep.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(full), `"wall"`) {
+		t.Fatal("JSON() should include the wall section")
+	}
+	if strings.Contains(string(det), `"wall"`) {
+		t.Fatal("DeterministicJSON() must strip the wall section")
+	}
+	if rep.Wall == nil {
+		t.Fatal("DeterministicJSON must not mutate the receiver")
+	}
+}
