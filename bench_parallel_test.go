@@ -1,0 +1,111 @@
+package esd_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"esd"
+)
+
+// The parallel-synthesis bench harness: one wall-clock measurement per
+// (app, mode) cell, emitted as BENCH_parallel.json. Gated on an env var
+// because a cell is a full synthesis (seconds to minutes on the hard
+// apps) — this is a reporting harness, not a unit test:
+//
+//	ESD_BENCH_PARALLEL=BENCH_parallel.json go test -run TestBenchParallel -timeout 30m .
+//
+// ESD_BENCH_PARALLEL_APPS overrides the app list (comma-separated;
+// default ls4,pipeline,sqlite — the hard apps where intra-synthesis
+// parallelism pays). CI's bench-smoke step runs it on a quick subset and
+// uploads the JSON as an artifact.
+
+// benchRow is one BENCH_parallel.json record.
+type benchRow struct {
+	App  string `json:"app"`
+	Mode string `json:"mode"` // seq | frontier | portfolio
+	// Workers is the frontier worker count (frontier mode); Portfolio
+	// the racing variant count (portfolio mode).
+	Workers   int   `json:"workers,omitempty"`
+	Portfolio int   `json:"portfolio,omitempty"`
+	WallNS    int64 `json:"wall_ns"`
+	Steps     int64 `json:"steps"`
+	Found     bool  `json:"found"`
+	// Seed is the winning configuration's seed (portfolio replay handle).
+	Seed int64 `json:"seed"`
+	// SpeedupVsSeq is this row's sequential wall over its own (same app).
+	SpeedupVsSeq float64 `json:"speedup_vs_seq,omitempty"`
+}
+
+func TestBenchParallel(t *testing.T) {
+	out := os.Getenv("ESD_BENCH_PARALLEL")
+	if out == "" {
+		t.Skip("set ESD_BENCH_PARALLEL=<output path> to run the parallel bench harness")
+	}
+	appList := "ls4,pipeline,sqlite"
+	if v := os.Getenv("ESD_BENCH_PARALLEL_APPS"); v != "" {
+		appList = v
+	}
+
+	type mode struct {
+		name      string
+		workers   int
+		portfolio int
+	}
+	modes := []mode{
+		{name: "seq"},
+		{name: "frontier", workers: 2},
+		{name: "frontier", workers: 4},
+		{name: "portfolio", portfolio: 4},
+	}
+
+	eng := esd.New()
+	var rows []benchRow
+	for _, name := range strings.Split(appList, ",") {
+		name = strings.TrimSpace(name)
+		prog, rep := appProgReport(t, name)
+		var seqWall int64
+		for _, m := range modes {
+			opts := []esd.SynthOption{esd.WithBudget(5 * time.Minute), esd.WithSeed(1)}
+			if m.workers > 1 {
+				opts = append(opts, esd.WithParallelism(m.workers))
+			}
+			if m.portfolio > 1 {
+				opts = append(opts, esd.WithPortfolio(m.portfolio))
+			}
+			start := time.Now()
+			res, err := eng.Synthesize(context.Background(), prog, rep, opts...)
+			wall := time.Since(start).Nanoseconds()
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, m.name, err)
+			}
+			row := benchRow{
+				App: name, Mode: m.name,
+				Workers: m.workers, Portfolio: m.portfolio,
+				WallNS: wall, Steps: res.Stats.Steps,
+				Found: res.Found, Seed: res.Seed,
+			}
+			if m.name == "seq" {
+				seqWall = wall
+			} else if seqWall > 0 {
+				row.SpeedupVsSeq = float64(seqWall) / float64(wall)
+			}
+			rows = append(rows, row)
+			t.Logf("%-10s %-9s n=%d k=%d wall=%.2fs steps=%d found=%v speedup=%.2f",
+				name, m.name, m.workers, m.portfolio,
+				float64(wall)/1e9, res.Stats.Steps, res.Found, row.SpeedupVsSeq)
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows)", out, len(rows))
+}

@@ -3,7 +3,8 @@
 // triage pipeline) hand coredumps to a long-lived service that answers
 // with synthesized executions.
 //
-//	esdserve -addr :8080 [-max-concurrent 4] [-default-budget 60s] [-max-budget 10m]
+//	esdserve -addr :8080 [-max-concurrent 4] [-max-parallelism 8]
+//	         [-default-budget 60s] [-max-budget 10m]
 //	         [-interner-high-water 268435456] [-debug-addr localhost:6060]
 //
 // Endpoints (see internal/service for the full wire contract):
@@ -45,6 +46,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxConcurrent = flag.Int("max-concurrent", 4, "max simultaneous syntheses (excess requests get 429)")
+		maxParallel   = flag.Int("max-parallelism", 8, "cap on per-request frontier parallelism and portfolio size")
 		defaultBudget = flag.Duration("default-budget", 60*time.Second, "budget for requests without budget_ms")
 		maxBudget     = flag.Duration("max-budget", 10*time.Minute, "cap on requested budgets")
 		highWater     = flag.Int64("interner-high-water", 256<<20,
@@ -60,9 +62,10 @@ func main() {
 		esd.WithInternerHighWater(*highWater),
 	)
 	srv := service.New(eng, service.Config{
-		DefaultBudget: *defaultBudget,
-		MaxBudget:     *maxBudget,
-		MaxConcurrent: *maxConcurrent,
+		DefaultBudget:  *defaultBudget,
+		MaxBudget:      *maxBudget,
+		MaxConcurrent:  *maxConcurrent,
+		MaxParallelism: *maxParallel,
 	})
 
 	hs := &http.Server{
@@ -91,8 +94,8 @@ func main() {
 		hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("esdserve: listening on %s (max-concurrent=%d, default-budget=%s, max-budget=%s, interner-high-water=%d)",
-		*addr, *maxConcurrent, *defaultBudget, *maxBudget, *highWater)
+	log.Printf("esdserve: listening on %s (max-concurrent=%d, max-parallelism=%d, default-budget=%s, max-budget=%s, interner-high-water=%d)",
+		*addr, *maxConcurrent, *maxParallel, *defaultBudget, *maxBudget, *highWater)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "esdserve: %v\n", err)
 		os.Exit(1)

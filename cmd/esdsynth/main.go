@@ -3,6 +3,9 @@
 //	esdsynth -core coredump.json -src program.c [-crash|-deadlock|-race]
 //	         [-o exec.json] [-strategy esd|dfs|randpath] [-timeout 60s]
 //	esdsynth -app sqlite [-o exec.json]     # run on a bundled evaluated app
+//	esdsynth -app pipeline -parallel 4      # frontier-parallel search, 4 workers
+//	esdsynth -app sqlite -portfolio 4       # race 4 seed variants; winner's
+//	                                        # seed is printed for replay
 //
 // It reads the coredump, synthesizes an execution that reproduces the
 // reported bug, and writes the synthesized execution file for esdplay.
@@ -41,6 +44,8 @@ func main() {
 		raceDet  = flag.Bool("with-race-det", false, "enable data-race detection during synthesis")
 		bound    = flag.Int("preemption-bound", 0, "use Chess-style preemption bounding (KC baseline)")
 		progress = flag.Bool("progress", false, "stream search progress to stderr")
+		parallel = flag.Int("parallel", 0, "frontier-parallel search workers (0/1 = sequential)")
+		portf    = flag.Int("portfolio", 0, "race this many seed variants (seed..seed+k-1); winner's seed is printed for replay")
 		traceOut = flag.String("trace", "", "write the per-synthesis flight report (JSON) to this file")
 		metrics  = flag.String("metrics", "", "write the telemetry registry (Prometheus text) to this file after the run")
 	)
@@ -93,6 +98,12 @@ func main() {
 	if *raceDet {
 		synthOpts = append(synthOpts, esd.WithRaceDetection())
 	}
+	if *parallel > 1 {
+		synthOpts = append(synthOpts, esd.WithParallelism(*parallel))
+	}
+	if *portf > 1 {
+		synthOpts = append(synthOpts, esd.WithPortfolio(*portf))
+	}
 	if *traceOut != "" {
 		synthOpts = append(synthOpts, esd.WithTelemetry())
 	}
@@ -138,6 +149,9 @@ func main() {
 	}
 	fmt.Printf("search: %.2fs, %d instructions, %d states, %d solver queries\n",
 		res.Stats.Duration.Seconds(), res.Stats.Steps, res.Stats.States, res.Stats.SolverQueries)
+	if *portf > 1 && res.Found {
+		fmt.Printf("portfolio winner: seed %d (replay with -seed %d and no -portfolio)\n", res.Seed, res.Seed)
+	}
 	for _, b := range res.OtherBugs {
 		fmt.Printf("note: different bug discovered during search: %s\n", b)
 	}

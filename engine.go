@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,14 +50,16 @@ type Engine struct {
 	mu       sync.Mutex
 	programs map[string]*Program // Compile cache, keyed by source hash
 
-	active      atomic.Int64
-	batchQueued atomic.Int64
-	synthesized atomic.Int64
-	found       atomic.Int64
-	compiled    atomic.Int64
-	compileHits atomic.Int64
-	sweeps      atomic.Int64
-	sweptBytes  atomic.Int64
+	active         atomic.Int64
+	batchQueued    atomic.Int64
+	synthesized    atomic.Int64
+	found          atomic.Int64
+	portfolioRaces atomic.Int64
+	portfolioWon   atomic.Int64
+	compiled       atomic.Int64
+	compileHits    atomic.Int64
+	sweeps         atomic.Int64
+	sweptBytes     atomic.Int64
 	// lastQuiesce is the UnixNano of the last forced-quiescence sweep
 	// attempt (the rate limiter for sweepQuiesceWait admission pauses).
 	lastQuiesce atomic.Int64
@@ -252,6 +255,33 @@ func WithMaxSteps(n int64) SynthOption {
 	return func(o *search.Options) { o.MaxSteps = n }
 }
 
+// WithParallelism runs the search frontier-parallel: n workers share one
+// sharded priority frontier (stealing work from each other's shards),
+// one cross-worker dedup set, and the compiled program and distance
+// tables, each running its own symbolic VM and solver; the first worker
+// to reach the goal cancels the rest. n <= 1 runs the unchanged
+// sequential searcher, so WithParallelism(1) is bit-identical to the
+// default. Frontier-parallel runs explore the same state space as the
+// sequential search but in a schedule-dependent order, so their step
+// counts and flight traces vary run to run; the synthesized execution
+// still strict-replays exactly.
+func WithParallelism(n int) SynthOption {
+	return func(o *search.Options) { o.Parallelism = n }
+}
+
+// WithPortfolio races k complete searches of the same synthesis, seeded
+// WithSeed's base value through base+k-1, sharing the compiled program,
+// distance tables, and interned terms; the first variant to reproduce
+// the bug cancels the rest. The winner's Result records its own seed
+// (Result.Seed), and replaying that seed without the portfolio
+// re-synthesizes the identical execution — the determinism contract
+// covers the winning configuration, not the race. k <= 1 is a plain
+// single search; k is capped at 16. Portfolio racing composes with
+// WithParallelism (each variant then runs frontier-parallel).
+func WithPortfolio(k int) SynthOption {
+	return func(o *search.Options) { o.Portfolio = k }
+}
+
 // OnProgress streams progress events for this call (overrides the
 // engine-wide hook). The callback runs synchronously on the synthesis
 // goroutine — keep it fast. SynthesizeBatch serializes calls across its
@@ -333,6 +363,11 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 		defer e.solvers.Put(sol)
 		so.Solver = sol
 	}
+	if so.Solvers == nil {
+		// Frontier-parallel workers draw their per-worker solvers from
+		// the engine's warm pool instead of building cold ones.
+		so.Solvers = enginePool{e}
+	}
 
 	// Pin the interned-term universe for the whole request — the search
 	// plus the path concretization below — so a watermark sweep can never
@@ -341,7 +376,19 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	defer release()
 	e.active.Add(1)
 	defer e.active.Add(-1)
-	res, err := search.Synthesize(ctx, prog.MIR, rep.R, so)
+	var res *search.Result
+	var err error
+	if so.Portfolio > 1 {
+		orig := so.Solver
+		res, so, err = e.portfolioRace(ctx, prog, rep, so)
+		if so.Solver != orig {
+			// The winner was a secondary variant: its pooled solver stays
+			// checked out through the solve phase below.
+			defer e.solvers.Put(so.Solver)
+		}
+	} else {
+		res, err = search.Synthesize(ctx, prog.MIR, rep.R, so)
+	}
 	e.synthesized.Add(1)
 	if err != nil {
 		return nil, err
@@ -350,6 +397,7 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 		TimedOut:  res.TimedOut,
 		Cancelled: res.Cancelled,
 		OtherBugs: res.OtherBugs,
+		Seed:      res.Seed,
 		Stats: Stats{
 			Duration:        res.Duration,
 			Steps:           res.Steps,
@@ -357,6 +405,7 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 			BranchForks:     res.BranchForks,
 			SolverQueries:   res.SolverQueries,
 			SolverCacheHits: res.SolverHits,
+			Workers:         res.Workers,
 			Interner:        expr.InternerStats(),
 		},
 	}
@@ -386,6 +435,108 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	return out, nil
 }
 
+// enginePool adapts the engine's warm solver pool to the search package's
+// SolverPool interface (per-worker solvers for frontier-parallel runs).
+type enginePool struct{ e *Engine }
+
+func (p enginePool) Get() *solver.Solver  { return p.e.solvers.Get().(*solver.Solver) }
+func (p enginePool) Put(s *solver.Solver) { p.e.solvers.Put(s) }
+
+// maxPortfolio caps WithPortfolio: beyond a handful of variants the
+// marginal seed diversity buys almost nothing and the extra searches
+// just contend for cores.
+const maxPortfolio = 16
+
+var (
+	portfolioOutcomes = telemetry.NewCounterVec("esd_portfolio_outcomes_total",
+		"Portfolio races completed, by outcome of the winning (or, with no winner, the base-seed) variant.",
+		"outcome")
+	portfolioWins = telemetry.NewCounterVec("esd_portfolio_wins_total",
+		"Portfolio races that reproduced the bug, by winning variant index.",
+		"variant")
+)
+
+// portfolioRace runs k = so.Portfolio complete searches of the same
+// synthesis with seeds base, base+1, …, base+k-1, racing them to the
+// goal; the first variant to reproduce the bug cancels the rest. It
+// returns the winning result together with the options that produced it
+// — the winner's seed, solver, and recorder — so the caller's solve
+// phase and flight report describe the winning configuration exactly as
+// a single-seed run of that seed would. With no winner, variant 0 (the
+// caller's own seed) is the representative result: its timeout,
+// exhaustion, or error is what a plain run would have reported.
+func (e *Engine) portfolioRace(ctx context.Context, prog *Program, rep *BugReport, base search.Options) (*search.Result, search.Options, error) {
+	k := base.Portfolio
+	if k > maxPortfolio {
+		k = maxPortfolio
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type lane struct {
+		so  search.Options
+		res *search.Result
+		err error
+	}
+	lanes := make([]lane, k)
+	var winner atomic.Int32
+	winner.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		vo := base
+		vo.Portfolio = 0
+		vo.Seed = base.Seed + int64(i)
+		if i > 0 {
+			// Secondary variants stream no progress (the OnProgress
+			// contract is a single run's event stream), record into their
+			// own flight recorder, and draw their own warm solver —
+			// solvers are single-threaded.
+			vo.OnProgress = nil
+			if vo.Recorder != nil {
+				vo.Recorder = telemetry.NewRecorder(0)
+			}
+			vo.Solver = e.solvers.Get().(*solver.Solver)
+		}
+		lanes[i].so = vo
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := search.Synthesize(raceCtx, prog.MIR, rep.R, lanes[i].so)
+			lanes[i].res, lanes[i].err = res, err
+			if err == nil && res.Found != nil && winner.CompareAndSwap(-1, int32(i)) {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	win := int(winner.Load())
+	if win < 0 {
+		win = 0
+	}
+	// Losing variants' pooled solvers go back now (their goroutines have
+	// exited); the winner's stays checked out for the solve phase.
+	for i := 1; i < k; i++ {
+		if i != win {
+			e.solvers.Put(lanes[i].so.Solver)
+		}
+	}
+	e.portfolioRaces.Add(1)
+	l := lanes[win]
+	if l.err != nil {
+		// Only reachable with no winner (win == 0): surface the base
+		// variant's error and hand the caller's own options back so its
+		// solver bookkeeping sees no substitution.
+		return nil, base, l.err
+	}
+	if l.res.Found != nil {
+		e.portfolioWon.Add(1)
+		portfolioWins.With(strconv.Itoa(win)).Inc()
+	}
+	portfolioOutcomes.With(l.res.Outcome()).Inc()
+	return l.res, l.so, nil
+}
+
 // buildFlightReport assembles the WithTelemetry report from a finished
 // run: the search's deterministic counters and trace, plus the wall-clock
 // attribution section (which DeterministicJSON strips — wall times and
@@ -395,15 +546,21 @@ func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, so
 	if searchNS < 0 {
 		searchNS = 0
 	}
+	par := 0
+	if res.Workers > 1 {
+		par = res.Workers
+	}
 	return &telemetry.Report{
-		Schema:     telemetry.ReportSchema,
-		Outcome:    res.Outcome(),
-		Strategy:   so.Strategy.String(),
-		Seed:       so.Seed,
-		GoalQueues: res.IntermediateGoalSets + len(rep.R.Goals()),
-		Steps:      res.Steps,
-		States:     res.StatesCreated,
-		MaxDepth:   res.MaxDepth,
+		Schema:      telemetry.ReportSchema,
+		Outcome:     res.Outcome(),
+		Strategy:    so.Strategy.String(),
+		Seed:        res.Seed,
+		GoalQueues:  res.IntermediateGoalSets + len(rep.R.Goals()),
+		Parallelism: par,
+		DedupDrops:  res.DedupDrops,
+		Steps:       res.Steps,
+		States:      res.StatesCreated,
+		MaxDepth:    res.MaxDepth,
 		Forks: map[string]int64{
 			"branch":              res.BranchForks,
 			"sched":               res.SchedForks,
@@ -429,6 +586,7 @@ func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, so
 			SolverNS:        res.SolverWallNanos,
 			SolveNS:         solveNS,
 			SolverCacheHits: int64(res.SolverHits),
+			Workers:         res.WorkerWall,
 		},
 	}
 }
@@ -580,6 +738,10 @@ type EngineStats struct {
 	// subset that reproduced their bug.
 	Synthesized int64 `json:"synthesized"`
 	Found       int64 `json:"found"`
+	// PortfolioRaces counts WithPortfolio syntheses; PortfolioWins the
+	// subset where some variant reproduced the bug.
+	PortfolioRaces int64 `json:"portfolio_races"`
+	PortfolioWins  int64 `json:"portfolio_wins"`
 	// ProgramsCompiled and CompileCacheHits report Compile traffic;
 	// ProgramsCached is the memo's current (bounded) size.
 	ProgramsCompiled int64 `json:"programs_compiled"`
@@ -612,6 +774,8 @@ func (e *Engine) Stats() EngineStats {
 		BatchQueueDepth:   e.batchQueued.Load(),
 		Synthesized:       e.synthesized.Load(),
 		Found:             e.found.Load(),
+		PortfolioRaces:    e.portfolioRaces.Load(),
+		PortfolioWins:     e.portfolioWon.Load(),
 		ProgramsCompiled:  e.compiled.Load(),
 		CompileCacheHits:  e.compileHits.Load(),
 		ProgramsCached:    cached,

@@ -30,6 +30,14 @@
 // state across the pool. cmd/esdserve exposes the same engine over
 // HTTP/JSON with SSE progress streaming.
 //
+// A single synthesis can also spend multiple cores: WithParallelism(n)
+// shards the best-first frontier across n workers (work stealing, shared
+// dedup, first-to-goal wins), and WithPortfolio(k) races k seed variants
+// of the whole search, returning the first to reproduce the bug with its
+// winning seed recorded in Result.Seed for exact single-seed replay. See
+// the package README's "Parallel synthesis" section for the determinism
+// contract of each mode.
+//
 // The pre-Engine one-shot API (Synthesize, Options) remains as thin
 // deprecated wrappers over a package-default engine.
 package esd
@@ -122,6 +130,13 @@ type Result struct {
 	// distinct from TimedOut: the caller withdrew the request, the search
 	// did not run out of budget or space.
 	Cancelled bool
+	// Seed is the seed the winning search configuration actually ran
+	// with. For a plain synthesis it echoes WithSeed; for a portfolio
+	// race it is the winning variant's seed, so replaying with
+	// WithSeed(res.Seed) (and no WithPortfolio) re-synthesizes the exact
+	// same execution — the strict double-replay contract covers the
+	// winning configuration, not the race.
+	Seed int64
 	// Stats summarizes the search effort.
 	Stats Stats
 	// OtherBugs are failures found that do not match the report.
@@ -156,6 +171,10 @@ type Stats struct {
 	BranchForks     int64
 	SolverQueries   int
 	SolverCacheHits int
+	// Workers is the number of frontier-parallel search workers the run
+	// used (1 for a sequential search; portfolio variants each count
+	// their own).
+	Workers int
 	// Interner snapshots the process-wide term store after the run. The
 	// store is append-only, so long-lived services watch this for growth
 	// (also surfaced by esdserve's /healthz).

@@ -43,7 +43,10 @@ type DeadlockPolicy struct {
 	// outer and inner acquisitions share code (sqlite's recursive-mutex
 	// shim); small positive radii also catch outer locks taken just before
 	// a call into the inner-lock function (hawknl, the pipeline ring).
-	// 0 means the default (2); negative forces the exact-site test.
+	// 0 means derive a per-goal radius from the distance tables (see
+	// deriveRadii; falls back to 2 when no finite inter-goal estimate
+	// exists); positive forces that uniform radius for every goal;
+	// negative forces the exact-site test.
 	ActivationRadius int
 
 	// MaxRollbacks bounds snapshot activations per state lineage. Without
@@ -72,9 +75,14 @@ type DeadlockPolicy struct {
 	classified bool
 	lockGoals  []mir.Loc
 	waitGoals  []mir.Loc
+	// Per-goal activation radii derived from the distance tables, aligned
+	// with lockGoals/waitGoals (nil without a metric; see deriveRadii).
+	lockRadii []int64
+	waitRadii []int64
 }
 
-// classifyGoals resolves each goal's opcode once per policy.
+// classifyGoals resolves each goal's opcode once per policy and derives
+// the per-goal activation radii.
 func (p *DeadlockPolicy) classifyGoals(prog *mir.Program) {
 	if p.classified {
 		return
@@ -92,12 +100,111 @@ func (p *DeadlockPolicy) classifyGoals(prog *mir.Program) {
 			p.waitGoals = append(p.waitGoals, g)
 		}
 	}
+	p.lockRadii = p.deriveRadii(p.lockGoals)
+	p.waitRadii = p.deriveRadii(p.waitGoals)
 }
 
 const (
 	defaultMaxRollbacks     = 64
 	defaultActivationRadius = 2
+
+	// maxDerivedRadius caps the derived per-goal activation radius: the
+	// inter-goal spacing can be large when a deadlock's parties sit in
+	// distant code, but a radius beyond a few sync operations makes almost
+	// every acquisition "near" a goal and floods the search with eager
+	// forks that the fork budgets then spend on the wrong sites.
+	maxDerivedRadius = 4
 )
+
+// deriveRadii computes a per-goal activation radius from the distance
+// tables. The outer lock of a deadlock is acquired on the way to some
+// party's inner lock, so the sync distance from the *other* goal sites to
+// this goal estimates how far an outer acquisition plausibly sits from
+// it: tightly-coupled parties (sqlite's recursive shim, goals in the same
+// function) get radius 1, loosely-coupled ones (hawknl's cross-module
+// cycle) up to maxDerivedRadius. With no finite estimate — single-goal
+// reports, statically unreachable pairs — the historical default of 2
+// applies.
+func (p *DeadlockPolicy) deriveRadii(goals []mir.Loc) []int64 {
+	if p.Dist == nil || len(goals) == 0 {
+		return nil
+	}
+	radii := make([]int64, len(goals))
+	for i, g := range goals {
+		best := dist.Infinite
+		for _, o := range p.Goals {
+			if o == g {
+				continue
+			}
+			if d := p.Dist.SyncDistance([]mir.Loc{o}, g); d < best {
+				best = d
+			}
+		}
+		r := int64(defaultActivationRadius)
+		if best < dist.Infinite {
+			r = min(max(best, 1), maxDerivedRadius)
+		}
+		radii[i] = r
+	}
+	return radii
+}
+
+// goalRadius resolves goal i's activation radius: the derived per-goal
+// value by default, or the uniform radius() when the caller set an
+// explicit ActivationRadius (or no metric is available).
+func (p *DeadlockPolicy) goalRadius(derived []int64, i int) int64 {
+	if p.ActivationRadius == 0 && i < len(derived) {
+		return derived[i]
+	}
+	return p.radius()
+}
+
+// lockActivation is the graded inner-lock test with per-goal radii: the
+// smallest sync distance from loc to any lock goal, and whether loc is
+// within the activation radius of at least one of them.
+func (p *DeadlockPolicy) lockActivation(loc mir.Loc) (int64, bool) {
+	if p.isLockGoalSite(loc) {
+		return 0, true
+	}
+	if p.Dist == nil {
+		return dist.Infinite, false
+	}
+	best, within := dist.Infinite, false
+	for i, g := range p.lockGoals {
+		d := p.Dist.SyncDistance([]mir.Loc{loc}, g)
+		if d < best {
+			best = d
+		}
+		if d <= p.goalRadius(p.lockRadii, i) {
+			within = true
+		}
+	}
+	return best, within
+}
+
+// waitActivation is the condition-variable analog of lockActivation,
+// testing loc against the wait goals and their derived radii.
+func (p *DeadlockPolicy) waitActivation(loc mir.Loc) (int64, bool) {
+	for _, g := range p.waitGoals {
+		if g == loc {
+			return 0, true
+		}
+	}
+	if p.Dist == nil {
+		return dist.Infinite, false
+	}
+	best, within := dist.Infinite, false
+	for i, g := range p.waitGoals {
+		d := p.Dist.SyncDistance([]mir.Loc{loc}, g)
+		if d < best {
+			best = d
+		}
+		if d <= p.goalRadius(p.waitRadii, i) {
+			within = true
+		}
+	}
+	return best, within
+}
 
 var _ symex.Policy = (*DeadlockPolicy)(nil)
 
@@ -200,7 +307,7 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 			// these alternatives: no single rollback reconstructs them.
 			// The fork enters the search scored by the site's graded
 			// distance, so nearer decision points are explored first.
-			if d := p.goalSyncDist(st.Loc()); p.Dist != nil && d <= p.radius() &&
+			if d, near := p.lockActivation(st.Loc()); p.Dist != nil && near &&
 				st.Preemptions < limit && st.EagerForks < p.eagerLimit() {
 				alt := e.ForkState(snap)
 				alt.SchedDist = d
@@ -213,11 +320,12 @@ func (p *DeadlockPolicy) BeforeSync(e *symex.Engine, st *symex.State, in *mir.In
 		return nil
 	}
 	// M is held by another thread T2 (or self). If M was acquired at (or
-	// within ActivationRadius sync operations of) T2's inner lock — the
-	// site T2's goal names — then M could be the current thread's outer
-	// lock: activate the snapshot taken before T2 acquired M, giving the
+	// within the activation radius of) T2's inner lock — the site T2's
+	// goal names — then M could be the current thread's outer lock:
+	// activate the snapshot taken before T2 acquired M, giving the
 	// current thread a chance to get M first.
-	if (p.goalSyncDist(m.AcqLoc) <= p.radius() || m.Holder == st.Cur) && st.Preemptions < limit {
+	_, near := p.lockActivation(m.AcqLoc)
+	if (near || m.Holder == st.Cur) && st.Preemptions < limit {
 		if snap, has := st.Snapshots[key]; has && snap != nil {
 			delete(st.Snapshots, key)
 			// Activate a fork of the snapshot: sibling states may share the
@@ -251,17 +359,11 @@ func (p *DeadlockPolicy) beforeCondWait(e *symex.Engine, st *symex.State) []*sym
 	if p.Dist == nil || len(p.waitGoals) == 0 || len(st.RunnableThreads()) <= 1 {
 		return nil
 	}
-	loc := st.Loc()
-	d := minSyncDist(p.Dist, []mir.Loc{loc}, p.waitGoals)
-	for _, g := range p.waitGoals {
-		if g == loc {
-			d = 0 // the exact-site fast path, as in goalSyncDist
-		}
-	}
-	// Same gates as the mutex-path eager fork: the graded radius, the
-	// eager-fork budget, and the lineage's preemption/rollback bound
-	// (preemptCurrent below spends a preemption).
-	if d > p.radius() || st.EagerForks >= p.eagerLimit() || st.Preemptions >= p.rollbackLimit() {
+	d, near := p.waitActivation(st.Loc())
+	// Same gates as the mutex-path eager fork: the graded per-goal
+	// radius, the eager-fork budget, and the lineage's preemption/rollback
+	// bound (preemptCurrent below spends a preemption).
+	if !near || st.EagerForks >= p.eagerLimit() || st.Preemptions >= p.rollbackLimit() {
 		return nil
 	}
 	alt := e.ForkState(st)
@@ -293,7 +395,7 @@ func (p *DeadlockPolicy) AfterSync(e *symex.Engine, st *symex.State, in *mir.Ins
 		if m == nil || m.Holder != st.Cur {
 			return
 		}
-		if d := p.goalSyncDist(m.AcqLoc); d <= p.radius() {
+		if d, near := p.lockActivation(m.AcqLoc); near {
 			st.SchedDist = d
 			p.preemptCurrent(st)
 		}

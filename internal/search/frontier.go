@@ -1,0 +1,270 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+
+	"esd/internal/symex"
+)
+
+// queueFrontier owns one frontier's live-state structures: the §3.4
+// virtual priority queues (ESD), the plain pool (DFS/RandomPath), and the
+// anti-starvation FIFO. It was extracted from the searcher so a
+// frontier-parallel run can shard the frontier: each shard is one
+// queueFrontier behind its own mutex, and the sequential searcher is
+// simply the one-shard case with no lock.
+//
+// A queueFrontier is not safe for concurrent use; parallel callers hold
+// their shard's lock around every method.
+type queueFrontier struct {
+	strategy    Strategy
+	schedGuided bool
+	numQueues   int
+
+	// alive maps each live state to the per-queue ESD keys it was scored
+	// with at insertion (nil for non-ESD strategies). Heap and FIFO
+	// entries die lazily; membership here is the liveness truth.
+	alive map[*symex.State][]esdKey
+	// pool is the ordered live-state slice for DFS/RandomPath.
+	pool []*symex.State
+	// heaps are the per-goal virtual priority queues (lazy deletion).
+	heaps []stateHeap
+	// fifo holds live states in insertion order; every agingPeriod-th ESD
+	// pick drains from here instead of the fitness heaps. Pure best-first
+	// livelocks when scheduling policies fork equal-fitness states faster
+	// than lineages terminate (every successor waits behind the whole
+	// band); the aging pick guarantees each state is eventually run, which
+	// is what completes multi-party deadlock lineages.
+	fifo  []*symex.State
+	picks int
+}
+
+func newQueueFrontier(strategy Strategy, schedGuided bool, numQueues int) *queueFrontier {
+	return &queueFrontier{
+		strategy:    strategy,
+		schedGuided: schedGuided,
+		numQueues:   numQueues,
+		alive:       map[*symex.State][]esdKey{},
+		heaps:       make([]stateHeap, numQueues),
+	}
+}
+
+// size is the number of live states.
+func (f *queueFrontier) size() int { return len(f.alive) }
+
+// insert adds a live state with its per-queue keys (nil outside ESD).
+func (f *queueFrontier) insert(st *symex.State, keys []esdKey) {
+	f.alive[st] = keys
+	if f.strategy == StrategyESD {
+		for q := range f.heaps {
+			f.heaps[q].push(heapEntry{st: st, key: keys[q]})
+		}
+		if f.schedGuided {
+			// Only schedule-guided searches drain the aging FIFO; feeding
+			// it otherwise would pin every dead state against GC.
+			f.fifo = append(f.fifo, st)
+		}
+	} else {
+		f.pool = append(f.pool, st)
+	}
+}
+
+// remove takes a state out of the frontier (heap entries die lazily).
+func (f *queueFrontier) remove(st *symex.State) {
+	delete(f.alive, st)
+}
+
+// pick removes and returns the next state to run per strategy, plus
+// whether it came from the aging FIFO. rng drives queue selection, so two
+// runs with the same seed pick identically.
+func (f *queueFrontier) pick(rng *rand.Rand) (*symex.State, bool) {
+	if f.strategy == StrategyESD {
+		return f.pickESD(rng)
+	}
+	// DFS / RandomPath operate on the pool slice, compacting dead entries.
+	for len(f.pool) > 0 {
+		var idx int
+		switch f.strategy {
+		case StrategyDFS:
+			idx = len(f.pool) - 1 // most recently added
+		default:
+			idx = rng.Intn(len(f.pool))
+		}
+		st := f.pool[idx]
+		f.pool = append(f.pool[:idx], f.pool[idx+1:]...)
+		if _, ok := f.alive[st]; ok {
+			f.remove(st)
+			return st, false
+		}
+	}
+	return nil, false
+}
+
+// pickFIFO removes and returns the oldest live state (entries for states
+// already taken die lazily, as in the heaps).
+func (f *queueFrontier) pickFIFO() *symex.State {
+	for len(f.fifo) > 0 {
+		st := f.fifo[0]
+		f.fifo[0] = nil // release the popped slot's backing-array reference
+		f.fifo = f.fifo[1:]
+		if _, ok := f.alive[st]; ok {
+			f.remove(st)
+			return st
+		}
+	}
+	return nil
+}
+
+// pickESD chooses a virtual queue uniformly at random and takes its best
+// live state: lowest (fitness, ID), where fitness weights the graded §4.1
+// schedule distance far above the instruction-level data distance. Entries
+// for states already taken are discarded lazily. Every agingPeriod-th pick
+// comes from the insertion-order FIFO instead (see the fifo field).
+func (f *queueFrontier) pickESD(rng *rand.Rand) (*symex.State, bool) {
+	if f.schedGuided {
+		f.picks++
+		if f.picks%agingPeriod == 0 {
+			if st := f.pickFIFO(); st != nil {
+				return st, true
+			}
+		}
+	}
+	for attempts := 0; attempts < 2*len(f.heaps); attempts++ {
+		q := rng.Intn(len(f.heaps))
+		for {
+			e, ok := f.heaps[q].pop()
+			if !ok {
+				break // this queue is drained; try another
+			}
+			if _, live := f.alive[e.st]; live {
+				f.remove(e.st)
+				return e.st, false
+			}
+		}
+	}
+	// All sampled queues empty: scan for any remaining live state.
+	for q := range f.heaps {
+		for {
+			e, ok := f.heaps[q].pop()
+			if !ok {
+				break
+			}
+			if _, live := f.alive[e.st]; live {
+				f.remove(e.st)
+				return e.st, false
+			}
+		}
+	}
+	return nil, false
+}
+
+// shedWorst drops the worse half of the live states using the keys they
+// were scored with at insertion. The sequential searcher re-scores the
+// whole pool when it sheds (distances may have improved since insertion;
+// see searcher.shedStates) — a parallel shard sheds locally under its own
+// lock, where re-scoring would stall every other worker, so stored keys
+// are the deliberate trade. Returns the number of states dropped.
+func (f *queueFrontier) shedWorst() int {
+	if f.size() < 2 {
+		return 0
+	}
+	if f.strategy != StrategyESD {
+		// No fitness to rank by: keep the newest half (the pool tail),
+		// matching DFS's preference for deep states.
+		type entry struct {
+			st   *symex.State
+			keys []esdKey
+		}
+		keepFrom := len(f.pool) / 2
+		kept := make([]entry, 0, len(f.pool)-keepFrom)
+		for _, st := range f.pool[keepFrom:] {
+			if keys, ok := f.alive[st]; ok {
+				kept = append(kept, entry{st, keys})
+			}
+		}
+		dropped := f.size() - len(kept)
+		f.reset()
+		for _, e := range kept {
+			f.insert(e.st, e.keys)
+		}
+		return dropped
+	}
+	type scored struct {
+		st   *symex.State
+		keys []esdKey
+	}
+	arr := make([]scored, 0, f.size())
+	for st, keys := range f.alive {
+		arr = append(arr, scored{st, keys})
+	}
+	// Rank by the final-goal key (the last queue), as the sequential shed
+	// does; keys are total (unique state IDs), so the order is
+	// deterministic despite map iteration.
+	last := f.numQueues - 1
+	sort.Slice(arr, func(i, j int) bool { return arr[i].keys[last].less(arr[j].keys[last]) })
+	keep := len(arr) / 2
+	dropped := len(arr) - keep
+	f.reset()
+	for i := 0; i < keep; i++ {
+		f.insert(arr[i].st, arr[i].keys)
+	}
+	return dropped
+}
+
+// reset clears every structure, dropping backing arrays so shed states
+// become collectable. The pick cadence (picks) survives.
+func (f *queueFrontier) reset() {
+	f.alive = map[*symex.State][]esdKey{}
+	f.pool = nil
+	f.fifo = nil
+	f.heaps = make([]stateHeap, f.numQueues)
+}
+
+type heapEntry struct {
+	st  *symex.State
+	key esdKey
+}
+
+// stateHeap is a binary min-heap over esdKey.
+type stateHeap []heapEntry
+
+func (h *stateHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !(*h)[i].key.less((*h)[p].key) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *stateHeap) pop() (heapEntry, bool) {
+	old := *h
+	if len(old) == 0 {
+		return heapEntry{}, false
+	}
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (*h)[l].key.less((*h)[m].key) {
+			m = l
+		}
+		if r < n && (*h)[r].key.less((*h)[m].key) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top, true
+}

@@ -1,0 +1,592 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"esd/internal/dist"
+	"esd/internal/mir"
+	"esd/internal/race"
+	"esd/internal/report"
+	"esd/internal/sched"
+	"esd/internal/solver"
+	"esd/internal/symex"
+	"esd/internal/telemetry"
+)
+
+// This file implements frontier-parallel search (Options.Parallelism > 1):
+// the §3.4 priority frontier sharded across n workers with work stealing.
+//
+// Division of labor:
+//
+//   - The plan (goals, analyses, distance tables, queue layout) is built
+//     once and shared read-only; the interned term store is already
+//     concurrent (PR 2), so states forked by different workers share
+//     pointer-equal terms.
+//   - Each worker owns a full sequential searcher — its own symex VM
+//     (with a disjoint state-ID range, so the priority tie-break stays
+//     total), solver, scheduling-policy instance, and race detector — and
+//     reuses quantum/admit/terminal/prunable verbatim. Only insertion is
+//     diverted (searcher.route): forks are scored by the producing worker
+//     and placed round-robin into the shared shards.
+//   - A shared dedup set drops states whose decision history (path
+//     condition + schedule) another worker already admitted — the
+//     redundancy source is snapshot activation, where sibling states
+//     carry the same K_S snapshots.
+//   - The first worker to reach a goal state wins and cancels the rest
+//     through the run-scoped context; budget exhaustion and interner
+//     epoch violations propagate the same way.
+//
+// Determinism: a parallel run's outcome depends on the OS scheduler, so
+// it makes no replay promise itself; the contract is that the *winning
+// state's* execution file replays strictly, and that Parallelism <= 1
+// never reaches this file (Synthesize normalizes it away), keeping the
+// sequential path bit-identical to its history.
+
+// parallelSeedStride separates worker rng streams; any odd constant works,
+// a prime keeps accidental stream overlap improbable.
+const parallelSeedStride = 7919
+
+// stealPollInterval is how long an idle worker sleeps between stealing
+// scans when every shard is empty but peers still hold states.
+const stealPollInterval = 50 * time.Microsecond
+
+// synthesizeParallel runs the frontier-parallel search. Called from
+// Synthesize (which already pinned the interner and normalized defaults)
+// with opts.Parallelism > 1.
+func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Report, opts Options) (*Result, error) {
+	start := time.Now()
+	emit := func(ph Phase, live int) {
+		if opts.OnProgress != nil {
+			now := time.Now()
+			opts.OnProgress(ProgressEvent{Phase: ph, Time: now, Elapsed: now.Sub(start), Live: live})
+		}
+		opts.Recorder.Phase(ph.String(), 0, 0)
+	}
+	emit(PhaseAnalyze, 0)
+
+	pl, err := buildPlan(prog, rep, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Parallelism
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	r := &parallelRun{
+		opts:   opts,
+		ctx:    runCtx,
+		cancel: cancel,
+		start:  start,
+		shards: make([]*frontierShard, n),
+		dedup:  newDedupSet(),
+	}
+	r.bestFit.Store(dist.Infinite)
+	// Each shard gets the full sequential frontier capacity, so the
+	// aggregate frontier scales with the worker count (n × MaxStates).
+	// Shedding is lossy — a shed that evicts the goal lineage turns a
+	// findable run into an exhausted one — and dividing the cap across
+	// shards made per-shard sheds n× more frequent than the sequential
+	// search's, which in practice cost big-frontier runs (ls4) their
+	// bug. States are copy-on-write, so the memory multiplier is far
+	// below n×.
+	r.maxPerShard = opts.MaxStates
+	for i := range r.shards {
+		r.shards[i] = &frontierShard{
+			f: newQueueFrontier(opts.Strategy, pl.schedGuided, len(pl.queueGoals)),
+		}
+	}
+
+	workers := make([]*parallelWorker, n)
+	for i := 0; i < n; i++ {
+		sol := opts.Solver
+		var put func()
+		if i > 0 || sol == nil {
+			if opts.Solvers != nil {
+				ps := opts.Solvers.Get()
+				sol = ps
+				put = func() { opts.Solvers.Put(ps) }
+			} else {
+				sol = solver.New()
+			}
+		}
+		eng, det := pl.newVM(runCtx, opts, sol)
+		// Disjoint ID ranges keep state and object IDs unique across
+		// workers (states migrate between engines when stolen).
+		eng.SetIDBase(i << 40)
+		wopts := opts
+		wopts.Seed = opts.Seed + int64(i)*parallelSeedStride
+		w := &parallelWorker{
+			id:          i,
+			s:           newSearcher(pl, runCtx, wopts, eng, sol, start),
+			det:         det,
+			res:         &Result{Terminals: map[symex.StateStatus]int64{}},
+			putSolver:   put,
+			solHitsBase: sol.CacheHits,
+			solWallBase: sol.WallNanos,
+		}
+		w.s.route = func(st *symex.State) { r.place(w, st) }
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			if w.putSolver != nil {
+				w.putSolver()
+			}
+		}
+	}()
+
+	init, err := workers[0].s.eng.InitialState()
+	if err != nil {
+		return nil, err
+	}
+	r.place(workers[0], init)
+	emit(PhaseSearch, 1)
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go r.runWorker(w, &wg)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// The driver goroutine owns OnProgress and the Recorder (neither is
+	// safe for concurrent use), sampling the shared atomics on a wall
+	// cadence. A parallel trace is inherently nondeterministic, so there
+	// is no pick-count cadence to preserve here — the n=1 path keeps it.
+	ticker := time.NewTicker(opts.ProgressInterval)
+	defer ticker.Stop()
+drive:
+	for {
+		select {
+		case <-done:
+			break drive
+		case now := <-ticker.C:
+			r.progress(now)
+		}
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	res := r.collect(workers, n)
+	res.IntermediateGoalSets = pl.nInter
+	if res.Found != nil {
+		opts.Recorder.Record(telemetry.Event{
+			Kind:          telemetry.EventFound,
+			Steps:         res.Steps,
+			States:        res.StatesCreated,
+			Depth:         res.MaxDepth,
+			SolverQueries: int64(res.SolverQueries),
+		})
+	}
+	flushTelemetry(res)
+	return res, nil
+}
+
+// frontierShard is one lock-protected slice of the shared frontier.
+type frontierShard struct {
+	mu sync.Mutex
+	f  *queueFrontier
+}
+
+// parallelWorker is one frontier worker: a full sequential searcher with
+// insertions diverted to the shared shards, plus per-worker attribution.
+type parallelWorker struct {
+	id  int
+	s   *searcher
+	det *race.Detector
+	// res absorbs the worker's quantum-level counters (terminals, prunes,
+	// other bugs); the driver folds them into the final Result.
+	res         *Result
+	putSolver   func()
+	solHitsBase int
+	solWallBase int64
+
+	picks     int64
+	busyNS    int64
+	lastSteps int64
+	lastStats int64
+	found     bool
+}
+
+// parallelRun is the shared coordination state of one parallel search.
+type parallelRun struct {
+	opts   Options
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+
+	shards      []*frontierShard
+	maxPerShard int
+	dedup       *dedupSet
+
+	rr         atomic.Uint64 // round-robin insertion cursor
+	live       atomic.Int64  // states currently sitting in shards
+	busy       atomic.Int64  // workers currently holding a state
+	steps      atomic.Int64  // executed instructions, all workers
+	states     atomic.Int64  // states created, all workers
+	bestFit    atomic.Int64
+	maxDepth   atomic.Int64
+	sheds      atomic.Int64
+	dedupDrops atomic.Int64
+
+	done     atomic.Bool
+	timedOut atomic.Bool
+
+	winnerMu sync.Mutex
+	winner   *symex.State
+	winnerW  int
+
+	errOnce sync.Once
+	err     error
+}
+
+// place scores a freshly produced state on the producing worker's
+// searcher, drops it if another worker already admitted an equivalent
+// decision history, and otherwise inserts it into the next shard
+// round-robin (shedding that shard if it overflowed its share).
+func (r *parallelRun) place(w *parallelWorker, st *symex.State) {
+	var keys []esdKey
+	if w.s.opts.Strategy == StrategyESD {
+		keys = w.s.scoreState(st)
+		// Propagate the worker's improving final-goal fitness to the
+		// shared progress view.
+		for {
+			cur := r.bestFit.Load()
+			if w.s.bestFit >= cur || r.bestFit.CompareAndSwap(cur, w.s.bestFit) {
+				break
+			}
+		}
+	}
+	if r.dedup.seen(stateKey(st)) {
+		r.dedupDrops.Add(1)
+		return
+	}
+	for {
+		cur := r.maxDepth.Load()
+		if st.Steps <= cur || r.maxDepth.CompareAndSwap(cur, st.Steps) {
+			break
+		}
+	}
+	shard := r.shards[int(r.rr.Add(1))%len(r.shards)]
+	shard.mu.Lock()
+	shard.f.insert(st, keys)
+	shed := 0
+	if shard.f.size() > r.maxPerShard {
+		shed = shard.f.shedWorst()
+	}
+	shard.mu.Unlock()
+	r.live.Add(int64(1 - shed))
+	if shed > 0 {
+		r.sheds.Add(int64(shed))
+	}
+}
+
+// take pops the next state for w: its own shard first, then stealing from
+// the others in ring order. It returns nil when the run should stop (goal
+// found, budget exhausted, context done, hard error) or when the search
+// space is globally exhausted — every shard empty while no worker holds a
+// state that could refill them. On success the worker is counted busy
+// (incremented before the pop, so a momentarily empty frontier with a
+// state in flight never reads as exhaustion).
+func (r *parallelRun) take(w *parallelWorker) *symex.State {
+	n := len(r.shards)
+	for {
+		if r.done.Load() || r.ctx.Err() != nil {
+			return nil
+		}
+		if r.budgetExceeded() {
+			r.timedOut.Store(true)
+			r.done.Store(true)
+			r.cancel()
+			return nil
+		}
+		r.busy.Add(1)
+		for i := 0; i < n; i++ {
+			shard := r.shards[(w.id+i)%n]
+			shard.mu.Lock()
+			st, aged := shard.f.pick(w.s.rng)
+			shard.mu.Unlock()
+			if st != nil {
+				if aged {
+					w.s.agingPicks++
+				}
+				w.picks++
+				r.live.Add(-1)
+				return st
+			}
+		}
+		r.busy.Add(-1)
+		if r.live.Load() == 0 && r.busy.Load() == 0 {
+			return nil // globally exhausted
+		}
+		time.Sleep(stealPollInterval)
+	}
+}
+
+func (r *parallelRun) budgetExceeded() bool {
+	if r.opts.Budget > 0 && time.Since(r.start) > r.opts.Budget {
+		return true
+	}
+	return r.steps.Load() > r.opts.MaxSteps
+}
+
+// runWorker is one worker's life: take a state, run a quantum (which
+// routes forks and survivors back through place), sync the shared
+// counters, repeat.
+func (r *parallelRun) runWorker(w *parallelWorker, wg *sync.WaitGroup) {
+	defer wg.Done()
+	searchWorkers.Add(1)
+	defer searchWorkers.Add(-1)
+	for {
+		st := r.take(w)
+		if st == nil {
+			return
+		}
+		t0 := time.Now()
+		found, err := w.s.quantum(st, w.res)
+		w.busyNS += time.Since(t0).Nanoseconds()
+		r.steps.Add(w.s.eng.Stats.Steps - w.lastSteps)
+		w.lastSteps = w.s.eng.Stats.Steps
+		r.states.Add(w.s.eng.Stats.States - w.lastStats)
+		w.lastStats = w.s.eng.Stats.States
+		r.busy.Add(-1)
+		if err != nil {
+			if errors.Is(err, symex.ErrEpochChanged) {
+				// The reclaim gate was violated under a live run: a hard
+				// error for the whole race, not just this worker.
+				r.errOnce.Do(func() { r.err = err })
+				r.done.Store(true)
+				r.cancel()
+			}
+			// ErrInterrupted: the VM observed the cancelled run context
+			// mid-quantum; the driver classifies the outcome.
+			return
+		}
+		if found != nil {
+			r.setWinner(w, found)
+			return
+		}
+	}
+}
+
+// setWinner records the first goal state and cancels everyone else.
+func (r *parallelRun) setWinner(w *parallelWorker, st *symex.State) {
+	r.winnerMu.Lock()
+	if r.winner == nil {
+		r.winner = st
+		r.winnerW = w.id
+		w.found = true
+	}
+	r.winnerMu.Unlock()
+	r.done.Store(true)
+	r.cancel()
+}
+
+// progress emits one driver-side progress/recorder sample from the shared
+// atomics. Per-worker solver counters are deliberately absent: reading
+// them here would race with the workers, and the final Result carries the
+// exact totals.
+func (r *parallelRun) progress(now time.Time) {
+	live := int(r.live.Load())
+	searchFrontier.Observe(int64(live))
+	ev := ProgressEvent{
+		Phase:    PhaseSearch,
+		Time:     now,
+		Elapsed:  now.Sub(r.start),
+		Steps:    r.steps.Load(),
+		States:   r.states.Load(),
+		Live:     live,
+		Depth:    r.maxDepth.Load(),
+		BestDist: r.bestFit.Load(),
+	}
+	if r.opts.OnProgress != nil {
+		r.opts.OnProgress(ev)
+	}
+	r.opts.Recorder.Record(telemetry.Event{
+		Kind:     telemetry.EventFrontier,
+		Steps:    ev.Steps,
+		States:   ev.States,
+		Live:     live,
+		Depth:    ev.Depth,
+		BestDist: ev.BestDist,
+	})
+}
+
+// collect aggregates the quiescent workers into the final Result. Called
+// after every worker goroutine has exited, so reading their structs is
+// race-free.
+func (r *parallelRun) collect(workers []*parallelWorker, n int) *Result {
+	res := &Result{
+		Terminals:  map[symex.StateStatus]int64{},
+		Seed:       r.opts.Seed,
+		Workers:    n,
+		DedupDrops: r.dedupDrops.Load(),
+		Sheds:      r.sheds.Load(),
+	}
+	for _, w := range workers {
+		est := w.s.eng.Stats
+		res.Steps += est.Steps
+		res.StatesCreated += est.States
+		res.BranchForks += est.BranchForks
+		res.SchedForks += est.SchedForks
+		res.Concretizations += est.Concretizations
+		res.EpochChecks += est.EpochChecks
+		res.SolverQueries += w.s.sol.Queries - w.s.solBase
+		res.SolverHits += w.s.sol.CacheHits - w.solHitsBase
+		res.SolverWallNanos += w.s.sol.WallNanos - w.solWallBase
+		res.AgingPicks += w.s.agingPicks
+		res.StepErrors += w.res.StepErrors
+		res.PrunedCritical += w.res.PrunedCritical
+		res.PrunedInfinite += w.res.PrunedInfinite
+		if w.s.maxDepth > res.MaxDepth {
+			res.MaxDepth = w.s.maxDepth
+		}
+		for k, v := range w.res.Terminals {
+			res.Terminals[k] += v
+		}
+		for _, b := range w.res.OtherBugs {
+			if len(res.OtherBugs) < 64 {
+				res.OtherBugs = append(res.OtherBugs, b)
+			}
+		}
+		if w.det != nil {
+			res.RaceFindings = append(res.RaceFindings, w.det.Findings...)
+		}
+		if dp, ok := w.s.eng.Policy.(*sched.DeadlockPolicy); ok {
+			res.SnapshotsTaken += dp.SnapshotsTaken
+			res.SnapshotsActivated += dp.SnapshotsActivated
+			res.EagerForks += dp.EagerForks
+		}
+		res.WorkerWall = append(res.WorkerWall, telemetry.WorkerWall{
+			Worker:   w.id,
+			Steps:    est.Steps,
+			States:   est.States,
+			Picks:    w.picks,
+			BusyNS:   w.busyNS,
+			SolverNS: w.s.sol.WallNanos - w.solWallBase,
+			Found:    w.found,
+		})
+	}
+	res.Pruned = res.PrunedCritical + res.PrunedInfinite
+	res.Found = r.winner
+	res.Duration = time.Since(r.start)
+	if res.Found == nil {
+		switch {
+		case r.timedOut.Load():
+			// Our own budget cancel, not the caller's context.
+			res.TimedOut = true
+		case r.ctx.Err() != nil:
+			res.TimedOut, res.Cancelled = classifyCtxErr(r.ctx.Err())
+		}
+		// Otherwise: genuinely exhausted.
+	}
+	return res
+}
+
+// --- cross-worker dedup -----------------------------------------------------
+
+// stateKey fingerprints a state's decision history for cross-worker
+// deduplication. Two states are interchangeable only when both their
+// execution prefix AND their policy metadata coincide:
+//
+//   - the path condition (interned terms are pointer-equal and pinned for
+//     the whole run, so hashing addresses is sound) plus the schedule,
+//     scheduled thread, and step count pin the execution prefix — given
+//     those, the VM's evolution is deterministic;
+//   - SchedDist, Preemptions, and EagerForks are policy marks that gate
+//     future forking (two positionally identical states with different
+//     eager-fork budgets explore different futures);
+//   - the K_S snapshot map is rollback capability: folded
+//     order-independently (map iteration order must not change the key).
+//
+// The common duplicate source is snapshot activation: sibling states
+// carry pointer-identical snapshots and would regenerate each other's
+// activation forks in every worker.
+func stateKey(st *symex.State) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(len(st.Constraints)))
+	for _, c := range st.Constraints {
+		mix(uint64(uintptr(unsafe.Pointer(c))))
+	}
+	mix(uint64(st.Cur))
+	mix(uint64(st.Steps))
+	mix(uint64(len(st.Schedule)))
+	for _, seg := range st.Schedule {
+		mix(uint64(seg.Tid))
+		mix(uint64(seg.Steps))
+	}
+	mix(uint64(st.SchedDist))
+	mix(uint64(st.Preemptions))
+	mix(uint64(st.EagerForks))
+	var snaps uint64
+	for k, snap := range st.Snapshots {
+		// Per-entry FNV, folded by XOR: order-independent.
+		eh := uint64(offset64)
+		for _, v := range [3]uint64{uint64(k.Obj), uint64(k.Off), uint64(uintptr(unsafe.Pointer(snap)))} {
+			eh ^= v
+			eh *= prime64
+		}
+		snaps ^= eh
+	}
+	mix(uint64(len(st.Snapshots)))
+	mix(snaps)
+	return h
+}
+
+// dedupCap bounds the dedup set; past it, admission checks are disabled
+// (every state passes) rather than evicting — by then the run is deep
+// enough that late exact duplicates are rare, and silent eviction would
+// quietly reintroduce duplicated work early keys were supposed to kill.
+const dedupCap = 1 << 20
+
+const dedupShards = 16
+
+// dedupSet is a sharded concurrent set of state fingerprints.
+type dedupSet struct {
+	shards [dedupShards]struct {
+		mu sync.Mutex
+		m  map[uint64]struct{}
+	}
+	size atomic.Int64
+}
+
+func newDedupSet() *dedupSet {
+	d := &dedupSet{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[uint64]struct{})
+	}
+	return d
+}
+
+// seen inserts key and reports whether it was already present.
+func (d *dedupSet) seen(key uint64) bool {
+	if d.size.Load() >= dedupCap {
+		return false
+	}
+	s := &d.shards[key%dedupShards]
+	s.mu.Lock()
+	_, dup := s.m[key]
+	if !dup {
+		s.m[key] = struct{}{}
+	}
+	s.mu.Unlock()
+	if !dup {
+		d.size.Add(1)
+	}
+	return dup
+}

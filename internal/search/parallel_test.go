@@ -1,0 +1,141 @@
+package search
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"esd/internal/expr"
+	"esd/internal/lang"
+	"esd/internal/replay"
+	"esd/internal/solver"
+	"esd/internal/symex"
+	"esd/internal/trace"
+)
+
+// TestParallelFindsListing1 runs the frontier-parallel search on the
+// paper's running example and checks the winning state is the real
+// deadlock: strict playback of its schedule must reproduce it.
+func TestParallelFindsListing1(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+
+	res, err := Synthesize(context.Background(), prog, rep, Options{
+		Strategy:    StrategyESD,
+		Budget:      60 * time.Second,
+		Seed:        1,
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found == nil {
+		t.Fatalf("parallel search did not synthesize the deadlock (timedOut=%v, steps=%d)",
+			res.TimedOut, res.Steps)
+	}
+	if res.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", res.Workers)
+	}
+	if len(res.WorkerWall) != 4 {
+		t.Errorf("WorkerWall rows = %d, want 4", len(res.WorkerWall))
+	}
+	won := 0
+	for _, ww := range res.WorkerWall {
+		if ww.Found {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("winning workers = %d, want exactly 1", won)
+	}
+
+	ex, err := trace.FromState(res.Found, solver.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := replay.NewPlayer(prog, ex, replay.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := p.Run(1_000_000)
+	if err != nil {
+		t.Fatalf("strict playback of parallel winner diverged: %v", err)
+	}
+	if final.Status != symex.StateDeadlocked {
+		t.Fatalf("strict playback: %v, want deadlock", final.Status)
+	}
+	if !rep.Matches(final) {
+		t.Fatal("strict playback reached a different deadlock than the report")
+	}
+}
+
+// TestParallelNormalizesToSequential checks n<=1 runs the sequential
+// searcher (the bit-identity guarantee is "same code", not "equivalent
+// code"; the byte-level golden lives in the root package tests).
+func TestParallelNormalizesToSequential(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+	res, err := Synthesize(context.Background(), prog, rep, Options{
+		Strategy:    StrategyESD,
+		Budget:      60 * time.Second,
+		Seed:        1,
+		Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found == nil {
+		t.Fatal("n=1 search did not find the deadlock")
+	}
+	if res.Workers != 1 {
+		t.Errorf("Workers = %d, want 1 (sequential path)", res.Workers)
+	}
+	if res.DedupDrops != 0 || len(res.WorkerWall) != 0 {
+		t.Errorf("sequential run leaked parallel bookkeeping: dedup=%d workers=%d",
+			res.DedupDrops, len(res.WorkerWall))
+	}
+}
+
+// TestParallelReclaimQuiescence races a frontier-parallel search against
+// an interner-reclaim hammer. The search pins the term universe for its
+// whole lifetime, so every TryReclaim during it must refuse (pins held)
+// and the search must never observe ErrEpochChanged. Run under -race in
+// CI, this is the cross-worker stress test for the parallel path.
+func TestParallelReclaimQuiescence(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+
+	stop := make(chan struct{})
+	var swept atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := expr.TryReclaim(); ok {
+				swept.Add(1)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	res, err := Synthesize(context.Background(), prog, rep, Options{
+		Strategy:    StrategyESD,
+		Budget:      60 * time.Second,
+		Seed:        3,
+		Parallelism: 4,
+	})
+	close(stop)
+	if err != nil {
+		t.Fatalf("parallel search under reclaim pressure failed: %v", err)
+	}
+	if res.Found == nil {
+		t.Fatalf("parallel search under reclaim pressure found nothing (timedOut=%v)", res.TimedOut)
+	}
+	if n := swept.Load(); n != 0 {
+		t.Fatalf("%d reclaim sweeps landed under a pinned parallel search", n)
+	}
+}

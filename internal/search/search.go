@@ -13,6 +13,17 @@
 // The baselines are DFS (exhaustive-equivalent) and RandomPath, each
 // combined with Chess-style preemption bounding for multithreaded programs
 // — the "KC" hybrid of §7.2.
+//
+// With Options.Parallelism > 1 the same best-first search runs
+// frontier-parallel (see parallel.go): the frontier is sharded across
+// that many workers, each with its own symbolic VM and solver over the
+// shared compiled program and distance tables; workers steal from each
+// other's shards, a cross-worker dedup set suppresses re-exploration,
+// and the first worker to reach the goal cancels the rest. Parallelism
+// <= 1 runs the unchanged sequential searcher — the bit-identity
+// guarantee is "same code", not "equivalent code". Racing whole seeds
+// against each other (portfolio mode) lives a layer up, in the public
+// engine; Options.Portfolio only rides through this package.
 package search
 
 import (
@@ -127,6 +138,32 @@ type Options struct {
 	// ProgressInterval is the minimum spacing of periodic progress events
 	// (default 250ms). Phase transitions are always delivered.
 	ProgressInterval time.Duration
+
+	// Parallelism, when > 1, runs the search with that many frontier
+	// workers over one sharded priority frontier (work stealing,
+	// per-worker VMs and solvers, cross-worker state dedup, first-to-goal
+	// cancellation; see parallel.go). 0 or 1 runs the single-threaded
+	// searcher — the deterministic baseline a parallel run's winner is
+	// replayed against.
+	Parallelism int
+	// Portfolio, when > 1, asks the public engine to race that many seed
+	// variants of this search and keep the first to find the goal. The
+	// search itself ignores it (like BatchWorkers, it rides in the
+	// canonical options record); the engine strips it before the
+	// per-variant runs.
+	Portfolio int
+	// Solvers, when non-nil, supplies warm solvers for the extra workers
+	// of a frontier-parallel search (worker 0 uses Solver when set).
+	// Workers fall back to fresh solvers when it is nil.
+	Solvers SolverPool
+}
+
+// SolverPool hands out solvers for frontier-parallel workers. The engine
+// adapts its process-wide warm pool to this; Get must return a solver not
+// in use by anyone else, and Put returns it when the worker is done.
+type SolverPool interface {
+	Get() *solver.Solver
+	Put(*solver.Solver)
 }
 
 // Phase identifies where in the synthesis pipeline a ProgressEvent was
@@ -242,6 +279,20 @@ type Result struct {
 	SnapshotsTaken     int
 	SnapshotsActivated int
 	EagerForks         int
+
+	// Seed is the seed this result was actually produced with. For a
+	// plain run it echoes Options.Seed; the engine's portfolio driver
+	// overwrites it with the winning variant's seed, which is what makes
+	// the race strictly double-replayable (replay the winner, not the
+	// race).
+	Seed int64
+	// Workers is the number of frontier workers that ran the search (1
+	// for the sequential searcher); WorkerWall attributes per-worker wall
+	// time and work when Workers > 1. DedupDrops counts forks dropped by
+	// the cross-worker dedup set (0 in sequential runs).
+	Workers    int
+	WorkerWall []telemetry.WorkerWall
+	DedupDrops int64
 }
 
 // Outcome classifies the run for telemetry and reports: found | timeout |
@@ -286,6 +337,15 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	if opts.ProgressInterval == 0 {
 		opts.ProgressInterval = 250 * time.Millisecond
 	}
+	if opts.Parallelism <= 1 {
+		// One worker is the sequential searcher. Normalizing here keeps
+		// the n=1 bit-identity contract trivially true: n<=1 runs the
+		// exact code it always ran.
+		opts.Parallelism = 0
+	}
+	if opts.Parallelism > 0 {
+		return synthesizeParallel(ctx, prog, rep, opts)
+	}
 
 	start := time.Now()
 	emit := func(ph Phase, live int) {
@@ -297,95 +357,33 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	}
 	emit(PhaseAnalyze, 0)
 
-	goals := rep.Goals()
-	if len(goals) == 0 {
-		return nil, fmt.Errorf("search: report has no goals")
+	pl, err := buildPlan(prog, rep, opts)
+	if err != nil {
+		return nil, err
 	}
-	cg := cfa.BuildCallGraph(prog)
-	var analyses []*cfa.Analysis
-	for _, g := range goals {
-		a, err := cfa.AnalyzeWith(cg, g)
-		if err != nil {
-			return nil, err
-		}
-		analyses = append(analyses, a)
-	}
-
 	sol := opts.Solver
 	if sol == nil {
 		sol = solver.New()
 	}
 	baseQueries, baseHits := sol.Queries, sol.CacheHits
 	baseWall := sol.WallNanos
-	eng := symex.New(prog, sol)
-	eng.Ctx = ctx
-	calc := dist.ForProgram(cg)
+	eng, detector := pl.newVM(ctx, opts, sol)
+	s := newSearcher(pl, ctx, opts, eng, sol, start)
 
-	var detector *race.Detector
-	if opts.WithRaceDetector || rep.Kind == report.KindRace {
-		detector = race.NewDetector()
-		eng.Race = detector
+	res := &Result{
+		IntermediateGoalSets: pl.nInter,
+		Terminals:            map[symex.StateStatus]int64{},
+		Seed:                 opts.Seed,
+		Workers:              1,
 	}
-	// The policies share the searcher's Calculator: the graded §4.1
-	// sync-distance metric ranks both their scheduling decisions and the
-	// virtual-queue ordering below. The BinarySchedDist ablation withholds
-	// it so the policies fall back to the original near/far behavior.
-	var polCalc *dist.Calculator
-	if !opts.Ablate.BinarySchedDist {
-		polCalc = calc
-	}
-	switch {
-	case opts.PreemptionBound > 0:
-		eng.Policy = &sched.BoundedPolicy{Limit: opts.PreemptionBound}
-	case rep.Kind == report.KindDeadlock:
-		eng.Policy = &sched.DeadlockPolicy{Goals: goals, Dist: polCalc}
-	case rep.Kind == report.KindRace || detector != nil:
-		// Race-directed scheduling also serves crash reports when race
-		// detection is enabled (§4.2: detection can be turned on even when
-		// debugging non-race bugs that manifest only under races).
-		eng.Policy = &sched.RacePolicy{Prefix: rep.CommonStackPrefix(), Goals: goals, Dist: polCalc}
-	}
-
-	// Build the goal queues: one per intermediate goal set, one per final
-	// goal (§3.4).
-	var queueGoals [][]mir.Loc
-	if !opts.Ablate.NoIntermediateGoals {
-		for _, a := range analyses {
-			queueGoals = append(queueGoals, a.IntermediateGoals...)
-		}
-	}
-	nInter := len(queueGoals)
-	for _, g := range goals {
-		queueGoals = append(queueGoals, []mir.Loc{g})
-	}
-
-	s := &searcher{
-		opts:     opts,
-		ctx:      ctx,
-		prog:     prog,
-		rep:      rep,
-		eng:      eng,
-		sol:      sol,
-		analyses: analyses,
-		calc:     calc,
-		schedGuided: calc.HasSync() &&
-			(rep.Kind == report.KindDeadlock || rep.Kind == report.KindRace),
-		queueGoals: queueGoals,
-		finalStart: nInter,
-		finalGoals: goals,
-		rng:        rand.New(rand.NewSource(opts.Seed + 1)),
-		bestFit:    dist.Infinite,
-		start:      start,
-		solBase:    baseQueries,
-	}
-
-	res := &Result{IntermediateGoalSets: nInter, Terminals: map[symex.StateStatus]int64{}}
 	init, err := eng.InitialState()
 	if err != nil {
 		return nil, err
 	}
 	emit(PhaseSearch, 1)
+	searchWorkers.Add(1)
 	found, timedOut, cancelled, err := s.run(init, res)
+	searchWorkers.Add(-1)
 	if err != nil {
 		return nil, err
 	}
@@ -423,8 +421,129 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 			SolverQueries: int64(res.SolverQueries),
 		})
 	}
-	flushTelemetry(s, res)
+	flushTelemetry(res)
 	return res, nil
+}
+
+// plan is the shared, read-only front half of a synthesis: goals, static
+// analyses, distance tables, and the virtual-queue layout. A sequential
+// run builds one plan for its one VM; a frontier-parallel run builds one
+// plan and hands it to every worker (cfa.Analysis and dist.Calculator are
+// safe for concurrent readers).
+type plan struct {
+	prog     *mir.Program
+	rep      *report.Report
+	goals    []mir.Loc
+	cg       *cfa.CallGraph
+	analyses []*cfa.Analysis
+	calc     *dist.Calculator
+	// schedGuided gates the schedule-distance fitness component and the
+	// FIFO aging pick; see searcher.schedGuided.
+	schedGuided bool
+	// queueGoals is one goal set per virtual queue: intermediate sets
+	// first, then one per final goal (§3.4); nInter is where the final
+	// queues start.
+	queueGoals [][]mir.Loc
+	nInter     int
+}
+
+// buildPlan runs the static front half: report goals, call graph,
+// per-goal reachability analyses, distance tables, and queue layout.
+func buildPlan(prog *mir.Program, rep *report.Report, opts Options) (*plan, error) {
+	goals := rep.Goals()
+	if len(goals) == 0 {
+		return nil, fmt.Errorf("search: report has no goals")
+	}
+	cg := cfa.BuildCallGraph(prog)
+	var analyses []*cfa.Analysis
+	for _, g := range goals {
+		a, err := cfa.AnalyzeWith(cg, g)
+		if err != nil {
+			return nil, err
+		}
+		analyses = append(analyses, a)
+	}
+	calc := dist.ForProgram(cg)
+
+	// Build the goal queues: one per intermediate goal set, one per final
+	// goal (§3.4).
+	var queueGoals [][]mir.Loc
+	if !opts.Ablate.NoIntermediateGoals {
+		for _, a := range analyses {
+			queueGoals = append(queueGoals, a.IntermediateGoals...)
+		}
+	}
+	nInter := len(queueGoals)
+	for _, g := range goals {
+		queueGoals = append(queueGoals, []mir.Loc{g})
+	}
+	return &plan{
+		prog:     prog,
+		rep:      rep,
+		goals:    goals,
+		cg:       cg,
+		analyses: analyses,
+		calc:     calc,
+		schedGuided: calc.HasSync() &&
+			(rep.Kind == report.KindDeadlock || rep.Kind == report.KindRace),
+		queueGoals: queueGoals,
+		nInter:     nInter,
+	}, nil
+}
+
+// newVM builds one worker's private symbolic VM over the shared plan: an
+// engine wired to sol, its own scheduling-policy instance (policies carry
+// mutable per-run stats), and its own race detector when enabled.
+func (pl *plan) newVM(ctx context.Context, opts Options, sol *solver.Solver) (*symex.Engine, *race.Detector) {
+	eng := symex.New(pl.prog, sol)
+	eng.Ctx = ctx
+	var detector *race.Detector
+	if opts.WithRaceDetector || pl.rep.Kind == report.KindRace {
+		detector = race.NewDetector()
+		eng.Race = detector
+	}
+	// The policies share the plan's Calculator: the graded §4.1
+	// sync-distance metric ranks both their scheduling decisions and the
+	// virtual-queue ordering. The BinarySchedDist ablation withholds it
+	// so the policies fall back to the original near/far behavior.
+	var polCalc *dist.Calculator
+	if !opts.Ablate.BinarySchedDist {
+		polCalc = pl.calc
+	}
+	switch {
+	case opts.PreemptionBound > 0:
+		eng.Policy = &sched.BoundedPolicy{Limit: opts.PreemptionBound}
+	case pl.rep.Kind == report.KindDeadlock:
+		eng.Policy = &sched.DeadlockPolicy{Goals: pl.goals, Dist: polCalc}
+	case pl.rep.Kind == report.KindRace || detector != nil:
+		// Race-directed scheduling also serves crash reports when race
+		// detection is enabled (§4.2: detection can be turned on even when
+		// debugging non-race bugs that manifest only under races).
+		eng.Policy = &sched.RacePolicy{Prefix: pl.rep.CommonStackPrefix(), Goals: pl.goals, Dist: polCalc}
+	}
+	return eng, detector
+}
+
+// newSearcher wires one searcher over the shared plan and a private VM.
+func newSearcher(pl *plan, ctx context.Context, opts Options, eng *symex.Engine, sol *solver.Solver, start time.Time) *searcher {
+	return &searcher{
+		opts:        opts,
+		ctx:         ctx,
+		prog:        pl.prog,
+		rep:         pl.rep,
+		eng:         eng,
+		sol:         sol,
+		analyses:    pl.analyses,
+		calc:        pl.calc,
+		schedGuided: pl.schedGuided,
+		queueGoals:  pl.queueGoals,
+		finalStart:  pl.nInter,
+		finalGoals:  pl.goals,
+		rng:         rand.New(rand.NewSource(opts.Seed + 1)),
+		bestFit:     dist.Infinite,
+		start:       start,
+		solBase:     sol.Queries,
+	}
 }
 
 type searcher struct {
@@ -461,20 +580,15 @@ type searcher struct {
 	maxDepth     int64
 	solBase      int
 
-	// pool is the set of live states. For DFS/RandomPath it is used as an
-	// ordered slice; for ESD, states additionally sit in the per-goal
-	// virtual priority queues (heaps with lazy deletion, §3.4 / §6.2).
-	pool  []*symex.State
-	alive map[*symex.State]bool
-	heaps []stateHeap
-	// fifo holds live states in insertion order; every agingPeriod-th ESD
-	// pick drains from here instead of the fitness heaps. Pure best-first
-	// livelocks when scheduling policies fork equal-fitness states faster
-	// than lineages terminate (every successor waits behind the whole
-	// band); the aging pick guarantees each state is eventually run, which
-	// is what completes multi-party deadlock lineages.
-	fifo  []*symex.State
-	picks int
+	// front owns the live states: the per-goal virtual priority queues
+	// (heaps with lazy deletion, §3.4 / §6.2), the DFS/RandomPath pool,
+	// and the aging FIFO. Created by run; nil for parallel workers, whose
+	// states live in the shared shards instead.
+	front *queueFrontier
+	// route, when set, diverts insertions to a frontier-parallel run's
+	// shared shards instead of this searcher's own frontier. Workers
+	// reuse quantum/admit/terminal/prunable verbatim through this hook.
+	route func(*symex.State)
 
 	// Flight-recorder and per-run counters: allPicks drives the
 	// deterministic frontier-sampling cadence across all strategies;
@@ -506,70 +620,20 @@ func (s *searcher) sampleFrontier() {
 		Kind:          telemetry.EventFrontier,
 		Steps:         s.eng.Stats.Steps,
 		States:        s.eng.Stats.States,
-		Live:          len(s.alive),
+		Live:          s.front.size(),
 		Depth:         s.maxDepth,
 		BestDist:      s.bestFit,
 		SolverQueries: int64(s.sol.Queries - s.solBase),
 	})
 }
 
-type heapEntry struct {
-	st  *symex.State
-	key esdKey
-}
-
-// stateHeap is a binary min-heap over esdKey.
-type stateHeap []heapEntry
-
-func (h *stateHeap) push(e heapEntry) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !(*h)[i].key.less((*h)[p].key) {
-			break
-		}
-		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
-		i = p
-	}
-}
-
-func (h *stateHeap) pop() (heapEntry, bool) {
-	old := *h
-	if len(old) == 0 {
-		return heapEntry{}, false
-	}
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && (*h)[l].key.less((*h)[m].key) {
-			m = l
-		}
-		if r < n && (*h)[r].key.less((*h)[m].key) {
-			m = r
-		}
-		if m == i {
-			break
-		}
-		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
-		i = m
-	}
-	return top, true
-}
-
 // run drives the search to one of its outcomes: found, space exhausted,
 // timed out (budget or context deadline), cancelled, or a hard error (the
 // epoch guard tripping, which means the reclaim gate was violated).
 func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled bool, err error) {
-	s.alive = map[*symex.State]bool{}
-	s.heaps = make([]stateHeap, len(s.queueGoals))
+	s.front = newQueueFrontier(s.opts.Strategy, s.schedGuided, len(s.queueGoals))
 	s.insert(init)
-	for len(s.alive) > 0 {
+	for s.front.size() > 0 {
 		now := time.Now()
 		if err := s.ctx.Err(); err != nil {
 			timedOut, cancelled = classifyCtxErr(err)
@@ -580,9 +644,12 @@ func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, time
 		}
 		s.maybeProgress(now)
 		s.sampleFrontier()
-		st := s.pick()
+		st, aged := s.front.pick(s.rng)
 		if st == nil {
 			return nil, false, false, nil
+		}
+		if aged {
+			s.agingPicks++
 		}
 		found, err := s.quantum(st, res)
 		if err != nil {
@@ -599,7 +666,7 @@ func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, time
 		if found != nil {
 			return found, false, false, nil
 		}
-		if len(s.alive) > s.opts.MaxStates {
+		if s.front.size() > s.opts.MaxStates {
 			s.shedStates()
 		}
 	}
@@ -622,7 +689,7 @@ func (s *searcher) maybeProgress(now time.Time) {
 		return
 	}
 	s.lastProgress = now
-	searchFrontier.Observe(int64(len(s.alive)))
+	searchFrontier.Observe(int64(s.front.size()))
 	if s.opts.OnProgress == nil {
 		return
 	}
@@ -632,44 +699,45 @@ func (s *searcher) maybeProgress(now time.Time) {
 		Elapsed:       now.Sub(s.start),
 		Steps:         s.eng.Stats.Steps,
 		States:        s.eng.Stats.States,
-		Live:          len(s.alive),
+		Live:          s.front.size(),
 		Depth:         s.maxDepth,
 		BestDist:      s.bestFit,
 		SolverQueries: s.sol.Queries - s.solBase,
 	})
 }
 
-// insert adds a live state to the pool and every virtual queue. The
-// schedule-distance component is queue-independent (it measures progress
-// toward the reported bug's full goal set), so it is computed once per
-// insertion and shared across the per-queue keys.
+// insert adds a live state to the frontier — this searcher's own, or the
+// shared shards of a frontier-parallel run when route is set.
 func (s *searcher) insert(st *symex.State) {
-	s.alive[st] = true
 	if st.Steps > s.maxDepth {
 		s.maxDepth = st.Steps
 	}
-	if s.opts.Strategy == StrategyESD {
-		sched := s.schedDistance(st)
-		for q := range s.queueGoals {
-			key := s.esdKey(st, s.queueGoals[q], sched)
-			if q >= s.finalStart && key.fit < s.bestFit {
-				s.bestFit = key.fit
-			}
-			s.heaps[q].push(heapEntry{st: st, key: key})
-		}
-		if s.schedGuided {
-			// Only schedule-guided searches drain the aging FIFO; feeding
-			// it otherwise would pin every dead state against GC.
-			s.fifo = append(s.fifo, st)
-		}
-	} else {
-		s.pool = append(s.pool, st)
+	if s.route != nil {
+		s.route(st)
+		return
 	}
+	s.front.insert(st, s.scoreState(st))
 }
 
-// remove takes a state out of the pool (heap entries die lazily).
-func (s *searcher) remove(st *symex.State) {
-	delete(s.alive, st)
+// scoreState computes the per-queue ESD keys of a state (nil for the
+// other strategies), tracking the best final-goal fitness seen. The
+// schedule-distance component is queue-independent (it measures progress
+// toward the reported bug's full goal set), so it is computed once per
+// scoring and shared across the per-queue keys.
+func (s *searcher) scoreState(st *symex.State) []esdKey {
+	if s.opts.Strategy != StrategyESD {
+		return nil
+	}
+	sched := s.schedDistance(st)
+	keys := make([]esdKey, len(s.queueGoals))
+	for q := range s.queueGoals {
+		key := s.esdKey(st, s.queueGoals[q], sched)
+		if q >= s.finalStart && key.fit < s.bestFit {
+			s.bestFit = key.fit
+		}
+		keys[q] = key
+	}
+	return keys
 }
 
 func (s *searcher) budgetExceeded(now time.Time) bool {
@@ -679,93 +747,10 @@ func (s *searcher) budgetExceeded(now time.Time) bool {
 	return s.eng.Stats.Steps > s.opts.MaxSteps
 }
 
-// pick removes and returns the next state to run, per strategy.
-func (s *searcher) pick() *symex.State {
-	if s.opts.Strategy == StrategyESD {
-		return s.pickESD()
-	}
-	// DFS / RandomPath operate on the pool slice, compacting dead entries.
-	for len(s.pool) > 0 {
-		var idx int
-		switch s.opts.Strategy {
-		case StrategyDFS:
-			idx = len(s.pool) - 1 // most recently added
-		default:
-			idx = s.rng.Intn(len(s.pool))
-		}
-		st := s.pool[idx]
-		s.pool = append(s.pool[:idx], s.pool[idx+1:]...)
-		if s.alive[st] {
-			s.remove(st)
-			return st
-		}
-	}
-	return nil
-}
-
 // agingPeriod is the cadence of the FIFO aging pick: every fourth pick
 // runs the oldest live state instead of the fittest one. Three quarters of
 // the budget follows the heuristic; the aging quarter guarantees drainage.
 const agingPeriod = 4
-
-// pickFIFO removes and returns the oldest live state (entries for states
-// already taken die lazily, as in the heaps).
-func (s *searcher) pickFIFO() *symex.State {
-	for len(s.fifo) > 0 {
-		st := s.fifo[0]
-		s.fifo[0] = nil // release the popped slot's backing-array reference
-		s.fifo = s.fifo[1:]
-		if s.alive[st] {
-			s.remove(st)
-			return st
-		}
-	}
-	return nil
-}
-
-// pickESD chooses a virtual queue uniformly at random and takes its best
-// live state: lowest (fitness, ID), where fitness weights the graded §4.1
-// schedule distance far above the instruction-level data distance. Entries
-// for states already taken are discarded lazily. Every agingPeriod-th pick
-// comes from the insertion-order FIFO instead (see the fifo field).
-func (s *searcher) pickESD() *symex.State {
-	if s.schedGuided {
-		s.picks++
-		if s.picks%agingPeriod == 0 {
-			if st := s.pickFIFO(); st != nil {
-				s.agingPicks++
-				return st
-			}
-		}
-	}
-	for attempts := 0; attempts < 2*len(s.heaps); attempts++ {
-		q := s.rng.Intn(len(s.heaps))
-		for {
-			e, ok := s.heaps[q].pop()
-			if !ok {
-				break // this queue is drained; try another
-			}
-			if s.alive[e.st] {
-				s.remove(e.st)
-				return e.st
-			}
-		}
-	}
-	// All sampled queues empty: scan for any remaining live state.
-	for q := range s.heaps {
-		for {
-			e, ok := s.heaps[q].pop()
-			if !ok {
-				break
-			}
-			if s.alive[e.st] {
-				s.remove(e.st)
-				return e.st
-			}
-		}
-	}
-	return nil
-}
 
 // syncWeight is the §4.1 weighting between the two fitness components:
 // one synchronization operation of schedule distance outweighs any
@@ -1039,15 +1024,17 @@ func (s *searcher) prunable(st *symex.State) string {
 }
 
 // shedStates drops the worst states when the pool overflows: keep the half
-// closest to the final goal.
+// closest to the final goal. Scores are recomputed from the current stacks
+// (a parallel shard sheds on stored insertion keys instead; see
+// queueFrontier.shedWorst).
 func (s *searcher) shedStates() {
 	goalSet := s.queueGoals[len(s.queueGoals)-1]
 	type scored struct {
 		st *symex.State
 		k  esdKey
 	}
-	arr := make([]scored, 0, len(s.alive))
-	for st := range s.alive {
+	arr := make([]scored, 0, s.front.size())
+	for st := range s.front.alive {
 		arr = append(arr, scored{st, s.esdKey(st, goalSet, s.schedDistance(st))})
 	}
 	sort.Slice(arr, func(i, j int) bool { return arr[i].k.less(arr[j].k) })
@@ -1060,10 +1047,7 @@ func (s *searcher) shedStates() {
 		Live:   keep,
 		Depth:  s.maxDepth,
 	})
-	s.alive = make(map[*symex.State]bool, keep)
-	s.pool = s.pool[:0]
-	s.fifo = nil // drop the backing array: shed states must become collectable
-	s.heaps = make([]stateHeap, len(s.queueGoals))
+	s.front.reset() // drop backing arrays: shed states must become collectable
 	for i := 0; i < keep; i++ {
 		s.insert(arr[i].st)
 	}

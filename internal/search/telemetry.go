@@ -28,6 +28,10 @@ var (
 		"States dropped by pool-overflow shedding.")
 	searchFrontier = telemetry.NewHistogram("esd_search_frontier_size",
 		"Live-state pool size sampled on the progress cadence.", 1)
+	searchWorkers = telemetry.NewGauge("esd_search_workers_active",
+		"Search workers currently running: one per sequential synthesis (and per portfolio variant), Parallelism per frontier-parallel synthesis.")
+	searchDedupDrops = telemetry.NewCounter("esd_search_dedup_drops_total",
+		"Forked states dropped by the cross-worker dedup set (frontier-parallel runs only).")
 
 	syntheses = telemetry.NewCounterVec("esd_syntheses_total",
 		"Completed synthesis runs, by outcome.",
@@ -37,15 +41,16 @@ var (
 )
 
 // flushTelemetry folds one finished run's counters into the process-wide
-// registry.
-func flushTelemetry(s *searcher, res *Result) {
-	st := s.eng.Stats
-	vmSteps.Add(st.Steps)
-	vmStates.Add(st.States)
-	vmConcretizations.Add(st.Concretizations)
-	vmEpochChecks.Add(st.EpochChecks)
-	searchForks.With("branch").Add(st.BranchForks)
-	searchForks.With("sched").Add(st.SchedForks)
+// registry. It reads only the Result (which already aggregates the VM,
+// solver, and policy counters), so the sequential searcher and the
+// frontier-parallel driver flush through the same code.
+func flushTelemetry(res *Result) {
+	vmSteps.Add(res.Steps)
+	vmStates.Add(res.StatesCreated)
+	vmConcretizations.Add(res.Concretizations)
+	vmEpochChecks.Add(res.EpochChecks)
+	searchForks.With("branch").Add(res.BranchForks)
+	searchForks.With("sched").Add(res.SchedForks)
 	searchForks.With("eager").Add(int64(res.EagerForks))
 	searchForks.With("snapshot").Add(int64(res.SnapshotsTaken))
 	searchForks.With("snapshot_activation").Add(int64(res.SnapshotsActivated))
@@ -53,6 +58,7 @@ func flushTelemetry(s *searcher, res *Result) {
 	searchPruned.With(pruneCritical).Add(res.PrunedCritical)
 	searchPruned.With(pruneInfinite).Add(res.PrunedInfinite)
 	searchSheds.Add(res.Sheds)
+	searchDedupDrops.Add(res.DedupDrops)
 	syntheses.With(res.Outcome()).Inc()
 	synthesisDuration.Observe(res.Duration.Nanoseconds())
 }

@@ -9,7 +9,7 @@
 //	                 -> {"program_id": "...", "instrs": N}
 //	POST /synthesize {"program_id" | "source"+"name" | "app", "report": {...},
 //	                  "budget_ms", "seed", "strategy", "preemption_bound",
-//	                  "race_detector", "stream"}
+//	                  "race_detector", "parallelism", "portfolio", "stream"}
 //	                 -> result JSON, or an SSE stream of "progress" events
 //	                    followed by one "result" event when "stream" is true
 //	                    (or the request Accepts text/event-stream)
@@ -59,6 +59,11 @@ type Config struct {
 	// MaxConcurrent bounds simultaneously running syntheses; requests
 	// beyond it get 429 (default 4).
 	MaxConcurrent int
+	// MaxParallelism caps the per-request "parallelism" (frontier
+	// workers) and "portfolio" (racing seed variants) options: intra-
+	// synthesis fan-out multiplies the cores one admission slot consumes,
+	// so the server bounds it independently of MaxConcurrent (default 8).
+	MaxParallelism int
 }
 
 // maxTrackedPrograms bounds the /compile id → program map (see the
@@ -82,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 4
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = 8
 	}
 	return c
 }
@@ -151,6 +159,11 @@ type synthesizeRequest struct {
 	Strategy        string `json:"strategy,omitempty"` // esd | dfs | randpath
 	PreemptionBound int    `json:"preemption_bound,omitempty"`
 	RaceDetector    bool   `json:"race_detector,omitempty"`
+	// Parallelism runs the search frontier-parallel with that many
+	// workers; Portfolio races that many seed variants. Both are capped
+	// by the server's MaxParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	Portfolio   int `json:"portfolio,omitempty"`
 	// Telemetry attaches a flight recorder to the synthesis; the result
 	// (each result, for /batch) then carries a "telemetry" report.
 	Telemetry bool `json:"telemetry,omitempty"`
@@ -168,13 +181,18 @@ type statsJSON struct {
 	Steps         int64      `json:"steps"`
 	States        int64      `json:"states"`
 	SolverQueries int        `json:"solver_queries"`
+	Workers       int        `json:"workers,omitempty"`
 	Interner      expr.Stats `json:"interner"`
 }
 
 type resultJSON struct {
-	Found     bool            `json:"found"`
-	TimedOut  bool            `json:"timed_out,omitempty"`
-	Cancelled bool            `json:"cancelled,omitempty"`
+	Found     bool `json:"found"`
+	TimedOut  bool `json:"timed_out,omitempty"`
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Seed is the seed of the winning search configuration (a portfolio
+	// request's replay handle: re-synthesize with this seed and no
+	// portfolio to reproduce the identical execution).
+	Seed      int64           `json:"seed"`
 	Execution json.RawMessage `json:"execution,omitempty"`
 	OtherBugs []string        `json:"other_bugs,omitempty"`
 	Stats     statsJSON       `json:"stats"`
@@ -313,6 +331,15 @@ func (s *Server) options(req *synthesizeRequest) ([]esd.SynthOption, error) {
 	}
 	if req.RaceDetector {
 		opts = append(opts, esd.WithRaceDetection())
+	}
+	if req.Parallelism < 0 || req.Portfolio < 0 {
+		return nil, fmt.Errorf("parallelism and portfolio must be non-negative")
+	}
+	if n := min(req.Parallelism, s.cfg.MaxParallelism); n > 1 {
+		opts = append(opts, esd.WithParallelism(n))
+	}
+	if k := min(req.Portfolio, s.cfg.MaxParallelism); k > 1 {
+		opts = append(opts, esd.WithPortfolio(k))
 	}
 	if req.Telemetry {
 		opts = append(opts, esd.WithTelemetry())
@@ -553,6 +580,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"esd_engine_batch_queue_depth", "gauge", "Batch reports queued but not yet picked up by a worker.", st.BatchQueueDepth},
 		{"esd_engine_synthesized_total", "counter", "Completed synthesis calls.", st.Synthesized},
 		{"esd_engine_found_total", "counter", "Syntheses that reproduced their bug.", st.Found},
+		{"esd_engine_portfolio_races_total", "counter", "Portfolio-racing synthesis calls.", st.PortfolioRaces},
+		{"esd_engine_portfolio_wins_total", "counter", "Portfolio races where some variant reproduced the bug.", st.PortfolioWins},
 		{"esd_engine_programs_compiled_total", "counter", "Compile calls that built a new program.", st.ProgramsCompiled},
 		{"esd_engine_compile_cache_hits_total", "counter", "Compile calls served from the source-keyed memo.", st.CompileCacheHits},
 		{"esd_engine_programs_cached", "gauge", "Programs currently held by the compile memo.", int64(st.ProgramsCached)},
@@ -577,12 +606,14 @@ func toResultJSON(res *esd.Result) resultJSON {
 		Found:     res.Found,
 		TimedOut:  res.TimedOut,
 		Cancelled: res.Cancelled,
+		Seed:      res.Seed,
 		OtherBugs: res.OtherBugs,
 		Stats: statsJSON{
 			DurationMS:    res.Stats.Duration.Milliseconds(),
 			Steps:         res.Stats.Steps,
 			States:        res.Stats.States,
 			SolverQueries: res.Stats.SolverQueries,
+			Workers:       res.Stats.Workers,
 			Interner:      res.Stats.Interner,
 		},
 	}

@@ -618,3 +618,57 @@ func TestServiceBadRequests(t *testing.T) {
 		t.Errorf("MaxBudget cap not applied: ran %v", elapsed)
 	}
 }
+
+// TestServiceParallelAndPortfolio drives the intra-synthesis parallelism
+// options over the wire: a frontier-parallel request reports its worker
+// count, a portfolio request reports its winning seed, and both are
+// capped by the server's MaxParallelism.
+func TestServiceParallelAndPortfolio(t *testing.T) {
+	ts := newTestServer(t, Config{MaxParallelism: 2})
+
+	resp, body := postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1, "parallelism": 8,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Found bool  `json:"found"`
+		Seed  int64 `json:"seed"`
+		Stats struct {
+			Workers int `json:"workers"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !res.Found {
+		t.Fatalf("parallel listing1 not found: %s", body)
+	}
+	if res.Stats.Workers != 2 {
+		t.Errorf("workers = %d, want the MaxParallelism cap 2", res.Stats.Workers)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 5, "portfolio": 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !res.Found {
+		t.Fatalf("portfolio listing1 not found: %s", body)
+	}
+	if res.Seed != 5 && res.Seed != 6 {
+		t.Errorf("portfolio winner seed = %d, want 5 or 6", res.Seed)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "parallelism": -1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallelism: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

@@ -145,6 +145,21 @@ func New(prog *mir.Program, s *solver.Solver) *Engine {
 	return &Engine{Prog: prog, Solver: s, EnvLen: 8, nextObjID: 1, epoch: expr.Epoch()}
 }
 
+// SetIDBase offsets the IDs this engine assigns to states and objects.
+// State IDs are the deterministic tie-break of the search's priority
+// ordering, and object IDs name memory cells *inside* execution states —
+// both must stay unique when states migrate between engines, as they do
+// in a frontier-parallel search (a stolen state's next stack frame is
+// allocated by the stealing worker's engine, and a colliding object ID
+// would silently overwrite a live object in that state's address space).
+// Giving each worker's engine a disjoint base (worker w uses w<<40)
+// keeps both namespaces collision-free. Call it before the first state
+// is created.
+func (e *Engine) SetIDBase(base int) {
+	e.nextStateID = base
+	e.nextObjID = base + 1
+}
+
 // NewObjID allocates a fresh object ID.
 func (e *Engine) NewObjID() int {
 	id := e.nextObjID

@@ -118,7 +118,15 @@ func (as *AddrSpace) Fork() *AddrSpace {
 	for id, o := range as.objects {
 		n.objects[id] = o
 	}
-	as.owned = map[int]bool{}
+	// The parent loses ownership of everything it shared — but only write
+	// when it actually owned something. Frozen K_S snapshot states (whose
+	// owned set is always empty: a snapshot is forked fresh and never
+	// stepped while stored) are forked concurrently by frontier-parallel
+	// workers, and keeping this a pure read for them is what makes that
+	// safe.
+	if len(as.owned) > 0 {
+		as.owned = map[int]bool{}
+	}
 	return n
 }
 

@@ -136,6 +136,29 @@ type WallStats struct {
 	SolveNS  int64 `json:"solve_ns"`
 	// SolverCacheHits counts query-cache hits (warm-solver dependent).
 	SolverCacheHits int64 `json:"solver_cache_hits"`
+	// Workers attributes wall time and work per frontier-parallel worker
+	// (absent for sequential runs). Everything here depends on the OS
+	// scheduler's interleaving, which is why the rows live in the
+	// stripped Wall section rather than the deterministic body.
+	Workers []WorkerWall `json:"workers,omitempty"`
+}
+
+// WorkerWall is one frontier-parallel worker's wall attribution row.
+type WorkerWall struct {
+	// Worker is the worker index (0..n-1).
+	Worker int `json:"worker"`
+	// Steps and States are the worker's VM work counters.
+	Steps  int64 `json:"steps"`
+	States int64 `json:"states"`
+	// Picks counts frontier states this worker ran.
+	Picks int64 `json:"picks"`
+	// BusyNS is wall time the worker spent executing quanta (the rest of
+	// its life was stealing scans and idle polling).
+	BusyNS int64 `json:"busy_ns"`
+	// SolverNS is the worker's wall time inside solver.Check.
+	SolverNS int64 `json:"solver_ns"`
+	// Found reports whether this worker reached the goal first.
+	Found bool `json:"found,omitempty"`
 }
 
 // Report is the per-synthesis flight-recorder report attached to
@@ -154,6 +177,15 @@ type Report struct {
 	// GoalQueues is the number of virtual goal queues (intermediate +
 	// final) the search ran with.
 	GoalQueues int `json:"goal_queues"`
+	// Parallelism is the frontier-worker count when the run was
+	// frontier-parallel (omitted for sequential runs, so an n=1 report
+	// stays byte-identical to the historical layout). Deliberately absent:
+	// the portfolio size — a portfolio winner's report must be
+	// byte-identical to its own single-seed replay.
+	Parallelism int `json:"parallelism,omitempty"`
+	// DedupDrops counts forks dropped by the cross-worker dedup set
+	// (frontier-parallel runs only; omitted when zero).
+	DedupDrops int64 `json:"dedup_drops,omitempty"`
 	// Steps, States, and MaxDepth are the VM work totals.
 	Steps    int64 `json:"steps"`
 	States   int64 `json:"states"`

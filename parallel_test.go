@@ -1,0 +1,127 @@
+package esd_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"esd"
+)
+
+// synthReport runs one listing1 synthesis with the given options (plus
+// telemetry) and returns the result and its flight report.
+func synthReport(t *testing.T, eng *esd.Engine, opts ...esd.SynthOption) (*esd.Result, *esd.FlightReport) {
+	t.Helper()
+	prog, rep := appProgReport(t, "listing1")
+	opts = append([]esd.SynthOption{
+		esd.WithBudget(time.Minute), esd.WithSeed(1), esd.WithTelemetry(),
+	}, opts...)
+	res, err := eng.Synthesize(context.Background(), prog, rep, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("listing1 synthesis did not reproduce the bug")
+	}
+	return res, res.Report()
+}
+
+func detJSON(t *testing.T, fr *esd.FlightReport) []byte {
+	t.Helper()
+	d, err := fr.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestParallelOneIsSequential is the golden n=1 identity: frontier
+// parallelism 1 must run the unchanged sequential searcher, so its
+// flight report and synthesized execution are byte-identical to a plain
+// run of the same seed.
+func TestParallelOneIsSequential(t *testing.T) {
+	eng := esd.New()
+	seq, seqFR := synthReport(t, eng)
+	par, parFR := synthReport(t, eng, esd.WithParallelism(1))
+
+	if d1, d2 := detJSON(t, seqFR), detJSON(t, parFR); !bytes.Equal(d1, d2) {
+		t.Errorf("n=1 DeterministicJSON differs from sequential:\n--- seq ---\n%s\n--- n=1 ---\n%s", d1, d2)
+	}
+	if !seq.Execution.SameBug(par.Execution) {
+		t.Error("n=1 synthesized a different execution than sequential")
+	}
+	if par.Stats.Workers != 1 {
+		t.Errorf("Workers = %d, want 1", par.Stats.Workers)
+	}
+}
+
+// TestPortfolioOneIsSequential is the golden k=1 identity: a portfolio
+// of one is a plain single-seed run.
+func TestPortfolioOneIsSequential(t *testing.T) {
+	eng := esd.New()
+	_, seqFR := synthReport(t, eng)
+	pf, pfFR := synthReport(t, eng, esd.WithPortfolio(1))
+
+	if d1, d2 := detJSON(t, seqFR), detJSON(t, pfFR); !bytes.Equal(d1, d2) {
+		t.Errorf("k=1 DeterministicJSON differs from sequential:\n--- seq ---\n%s\n--- k=1 ---\n%s", d1, d2)
+	}
+	if pf.Seed != 1 {
+		t.Errorf("k=1 Seed = %d, want the base seed 1", pf.Seed)
+	}
+}
+
+// TestPortfolioWinnerReplays is the portfolio double-replay contract: the
+// winner's Result records the seed it actually ran with, and replaying
+// that seed without the portfolio re-synthesizes a byte-identical flight
+// report and the same execution — the race leaves no trace in the
+// winning configuration's deterministic output.
+func TestPortfolioWinnerReplays(t *testing.T) {
+	eng := esd.New()
+	race, raceFR := synthReport(t, eng, esd.WithPortfolio(3))
+	if race.Seed < 1 || race.Seed > 3 {
+		t.Fatalf("winner seed = %d, want base..base+2", race.Seed)
+	}
+
+	replay, replayFR := synthReport(t, eng, esd.WithSeed(race.Seed))
+	if d1, d2 := detJSON(t, raceFR), detJSON(t, replayFR); !bytes.Equal(d1, d2) {
+		t.Errorf("winner's report differs from its single-seed replay (seed %d):\n--- race ---\n%s\n--- replay ---\n%s",
+			race.Seed, d1, d2)
+	}
+	if !race.Execution.SameBug(replay.Execution) {
+		t.Errorf("seed-%d replay synthesized a different execution than the portfolio winner", race.Seed)
+	}
+	if replay.Seed != race.Seed {
+		t.Errorf("replay Seed = %d, want %d", replay.Seed, race.Seed)
+	}
+}
+
+// TestParallelSynthesisViaEngine exercises the full engine path at n=4:
+// the run finds the bug, records its worker count, and the flight report
+// carries the parallelism plus per-worker wall attribution (in the
+// stripped Wall section, where schedule-dependent numbers belong).
+func TestParallelSynthesisViaEngine(t *testing.T) {
+	res, fr := synthReport(t, esd.New(), esd.WithParallelism(4))
+	if res.Stats.Workers != 4 {
+		t.Errorf("Stats.Workers = %d, want 4", res.Stats.Workers)
+	}
+	if fr.Parallelism != 4 {
+		t.Errorf("report Parallelism = %d, want 4", fr.Parallelism)
+	}
+	if fr.Wall == nil || len(fr.Wall.Workers) != 4 {
+		t.Fatalf("Wall.Workers rows = %v, want 4", fr.Wall)
+	}
+	won := 0
+	for _, ww := range fr.Wall.Workers {
+		if ww.Found {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("winning workers = %d, want exactly 1", won)
+	}
+	// The deterministic body must not leak schedule-dependent rows.
+	if bytes.Contains(detJSON(t, fr), []byte(`"workers"`)) {
+		t.Error("DeterministicJSON leaked the per-worker wall section")
+	}
+}
