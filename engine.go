@@ -376,6 +376,19 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	defer release()
 	e.active.Add(1)
 	defer e.active.Add(-1)
+	// Request-scoped shared fact layers, created under the pin (so the
+	// interner epoch cannot move for their whole lifetime): the solver
+	// component cache and the infinite-distance prune memo are shared by
+	// every frontier worker and every portfolio variant of this request.
+	// They are attached unconditionally — n=1/k=1 runs carry them too,
+	// which is what the determinism contract tests exercise (sharing is
+	// sound because the cached verdicts are pure functions of their keys).
+	if so.SharedCache == nil {
+		so.SharedCache = solver.NewSharedCache()
+	}
+	if so.PruneFacts == nil {
+		so.PruneFacts = search.NewPruneFacts()
+	}
 	var res *search.Result
 	var err error
 	if so.Portfolio > 1 {
@@ -399,14 +412,15 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 		OtherBugs: res.OtherBugs,
 		Seed:      res.Seed,
 		Stats: Stats{
-			Duration:        res.Duration,
-			Steps:           res.Steps,
-			States:          res.StatesCreated,
-			BranchForks:     res.BranchForks,
-			SolverQueries:   res.SolverQueries,
-			SolverCacheHits: res.SolverHits,
-			Workers:         res.Workers,
-			Interner:        expr.InternerStats(),
+			Duration:         res.Duration,
+			Steps:            res.Steps,
+			States:           res.StatesCreated,
+			BranchForks:      res.BranchForks,
+			SolverQueries:    res.SolverQueries,
+			SolverCacheHits:  res.SolverHits,
+			SolverSharedHits: res.SolverSharedHits,
+			Workers:          res.Workers,
+			Interner:         expr.InternerStats(),
 		},
 	}
 	emit := func(ph Phase) {
@@ -419,7 +433,13 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	if res.Found != nil {
 		emit(PhaseSolve)
 		solveStart := time.Now()
+		// The solve phase re-checks the winner's path condition; the search
+		// already decided (and published) those components, so attaching
+		// the request cache turns most of the phase into lookups. Detach
+		// before the pooled solver goes back (deferred Put above).
+		so.Solver.Shared = so.SharedCache
 		ex, err := trace.FromState(res.Found, so.Solver)
+		so.Solver.Shared = nil
 		solveNS = time.Since(solveStart).Nanoseconds()
 		if err != nil {
 			return nil, fmt.Errorf("esd: solving synthesized path: %w", err)
@@ -453,6 +473,9 @@ var (
 		"outcome")
 	portfolioWins = telemetry.NewCounterVec("esd_portfolio_wins_total",
 		"Portfolio races that reproduced the bug, by winning variant index.",
+		"variant")
+	portfolioSharedHits = telemetry.NewCounterVec("esd_portfolio_shared_hits_total",
+		"Component verdicts portfolio variants reused from the race's shared solver cache, by variant index — the cross-variant work the race no longer duplicates.",
 		"variant")
 )
 
@@ -513,6 +536,11 @@ func (e *Engine) portfolioRace(ctx context.Context, prog *Program, rep *BugRepor
 	win := int(winner.Load())
 	if win < 0 {
 		win = 0
+	}
+	for i := range lanes {
+		if r := lanes[i].res; r != nil && r.SolverSharedHits > 0 {
+			portfolioSharedHits.With(strconv.Itoa(i)).Add(int64(r.SolverSharedHits))
+		}
 	}
 	// Losing variants' pooled solvers go back now (their goroutines have
 	// exited); the winner's stays checked out for the solve phase.
@@ -581,12 +609,13 @@ func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, so
 		Trace:        so.Recorder.Events(),
 		TraceDropped: so.Recorder.Dropped(),
 		Wall: &telemetry.WallStats{
-			TotalNS:         total.Nanoseconds(),
-			SearchNS:        searchNS,
-			SolverNS:        res.SolverWallNanos,
-			SolveNS:         solveNS,
-			SolverCacheHits: int64(res.SolverHits),
-			Workers:         res.WorkerWall,
+			TotalNS:          total.Nanoseconds(),
+			SearchNS:         searchNS,
+			SolverNS:         res.SolverWallNanos,
+			SolveNS:          solveNS,
+			SolverCacheHits:  int64(res.SolverHits),
+			SolverSharedHits: int64(res.SolverSharedHits),
+			Workers:          res.WorkerWall,
 		},
 	}
 }

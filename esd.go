@@ -171,6 +171,10 @@ type Stats struct {
 	BranchForks     int64
 	SolverQueries   int
 	SolverCacheHits int
+	// SolverSharedHits counts component verdicts reused from the request's
+	// shared cross-worker/cross-variant solver cache (0 for runs where
+	// every component was first solved by the solver that needed it).
+	SolverSharedHits int
 	// Workers is the number of frontier-parallel search workers the run
 	// used (1 for a sequential search; portfolio variants each count
 	// their own).

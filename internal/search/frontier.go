@@ -100,6 +100,40 @@ func (f *queueFrontier) pick(rng *rand.Rand) (*symex.State, bool) {
 	return nil, false
 }
 
+// peekQueue reports the best live key in virtual queue q, discarding dead
+// lazy-deletion entries from the heap top on the way. A parallel run uses
+// it to compare shard heads before committing to a pop, so a worker takes
+// the globally best state rather than its own shard's best.
+func (f *queueFrontier) peekQueue(q int) (esdKey, bool) {
+	h := &f.heaps[q]
+	for {
+		if len(*h) == 0 {
+			return esdKey{}, false
+		}
+		e := (*h)[0]
+		if _, live := f.alive[e.st]; live {
+			return e.key, true
+		}
+		h.pop()
+	}
+}
+
+// popQueue removes and returns the best live state in virtual queue q
+// (nil when the queue holds no live state). Every live state is in every
+// queue's heap, so an empty queue means an empty frontier.
+func (f *queueFrontier) popQueue(q int) *symex.State {
+	for {
+		e, ok := f.heaps[q].pop()
+		if !ok {
+			return nil
+		}
+		if _, live := f.alive[e.st]; live {
+			f.remove(e.st)
+			return e.st
+		}
+	}
+}
+
 // pickFIFO removes and returns the oldest live state (entries for states
 // already taken die lazily, as in the heaps).
 func (f *queueFrontier) pickFIFO() *symex.State {

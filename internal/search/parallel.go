@@ -51,10 +51,6 @@ import (
 // a prime keeps accidental stream overlap improbable.
 const parallelSeedStride = 7919
 
-// stealPollInterval is how long an idle worker sleeps between stealing
-// scans when every shard is empty but peers still hold states.
-const stealPollInterval = 50 * time.Microsecond
-
 // synthesizeParallel runs the frontier-parallel search. Called from
 // Synthesize (which already pinned the interner and normalized defaults)
 // with opts.Parallelism > 1.
@@ -85,16 +81,19 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 		shards: make([]*frontierShard, n),
 		dedup:  newDedupSet(),
 	}
+	r.idleCond = sync.NewCond(&r.idleMu)
 	r.bestFit.Store(dist.Infinite)
-	// Each shard gets the full sequential frontier capacity, so the
-	// aggregate frontier scales with the worker count (n × MaxStates).
-	// Shedding is lossy — a shed that evicts the goal lineage turns a
-	// findable run into an exhausted one — and dividing the cap across
-	// shards made per-shard sheds n× more frequent than the sequential
-	// search's, which in practice cost big-frontier runs (ls4) their
-	// bug. States are copy-on-write, so the memory multiplier is far
-	// below n×.
-	r.maxPerShard = opts.MaxStates
+	// The shed budget is global and work-conserving: the run holds the
+	// same aggregate capacity as before (n × MaxStates — shedding is
+	// lossy, and an aggregate below that in practice cost big-frontier
+	// runs like ls4 their bug), but no single shard has a private cap.
+	// A fixed per-shard threshold shed whenever round-robin placement
+	// momentarily overloaded one shard, making sheds n× more frequent
+	// than the sequential search's even with aggregate headroom to
+	// spare; under the global budget, capacity rebalances toward loaded
+	// shards and a shed happens only when the whole run is over budget.
+	// States are copy-on-write, so the memory multiplier is far below n×.
+	r.shedBudget = int64(n) * int64(opts.MaxStates)
 	for i := range r.shards {
 		r.shards[i] = &frontierShard{
 			f: newQueueFrontier(opts.Strategy, pl.schedGuided, len(pl.queueGoals)),
@@ -114,6 +113,12 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 				sol = solver.New()
 			}
 		}
+		// Attach the request's shared fact layer: each worker's solver
+		// stays single-threaded, but on a private-cache miss it consults
+		// (and publishes into) the concurrency-safe shared cache, so the
+		// n workers stop re-solving each other's components — the
+		// solver-bound apps' parallel regression.
+		sol.Shared = opts.SharedCache
 		eng, det := pl.newVM(runCtx, opts, sol)
 		// Disjoint ID ranges keep state and object IDs unique across
 		// workers (states migrate between engines when stolen).
@@ -121,19 +126,24 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 		wopts := opts
 		wopts.Seed = opts.Seed + int64(i)*parallelSeedStride
 		w := &parallelWorker{
-			id:          i,
-			s:           newSearcher(pl, runCtx, wopts, eng, sol, start),
-			det:         det,
-			res:         &Result{Terminals: map[symex.StateStatus]int64{}},
-			putSolver:   put,
-			solHitsBase: sol.CacheHits,
-			solWallBase: sol.WallNanos,
+			id:            i,
+			s:             newSearcher(pl, runCtx, wopts, eng, sol, start),
+			det:           det,
+			res:           &Result{Terminals: map[symex.StateStatus]int64{}},
+			putSolver:     put,
+			solHitsBase:   sol.CacheHits,
+			solSharedBase: sol.SharedHits,
+			solWallBase:   sol.WallNanos,
 		}
 		w.s.route = func(st *symex.State) { r.place(w, st) }
 		workers[i] = w
 	}
 	defer func() {
 		for _, w := range workers {
+			// Detach before any solver outlives the run (pooled or
+			// caller-owned): a stale attachment would leak this request's
+			// facts into the next run and pin a dead cache alive.
+			w.s.sol.Shared = nil
 			if w.putSolver != nil {
 				w.putSolver()
 			}
@@ -203,12 +213,14 @@ type parallelWorker struct {
 	det *race.Detector
 	// res absorbs the worker's quantum-level counters (terminals, prunes,
 	// other bugs); the driver folds them into the final Result.
-	res         *Result
-	putSolver   func()
-	solHitsBase int
-	solWallBase int64
+	res           *Result
+	putSolver     func()
+	solHitsBase   int
+	solSharedBase int
+	solWallBase   int64
 
 	picks     int64
+	pickTick  int64 // aging cadence (the sequential frontier counts per-frontier; here it is per-worker)
 	busyNS    int64
 	lastSteps int64
 	lastStats int64
@@ -222,9 +234,12 @@ type parallelRun struct {
 	cancel context.CancelFunc
 	start  time.Time
 
-	shards      []*frontierShard
-	maxPerShard int
-	dedup       *dedupSet
+	shards []*frontierShard
+	// shedBudget is the global live-state budget (n × MaxStates); shedMu
+	// serializes the all-shard shed that runs when the budget overflows.
+	shedBudget int64
+	shedMu     sync.Mutex
+	dedup      *dedupSet
 
 	rr         atomic.Uint64 // round-robin insertion cursor
 	live       atomic.Int64  // states currently sitting in shards
@@ -235,6 +250,20 @@ type parallelRun struct {
 	maxDepth   atomic.Int64
 	sheds      atomic.Int64
 	dedupDrops atomic.Int64
+
+	// Idle-worker wakeup. A worker that scans every shard empty sleeps on
+	// idleCond instead of spinning; inserts is a monotone sequence number
+	// bumped on every placement, and waiters lets signalers skip the lock
+	// when nobody sleeps. The no-missed-wakeup argument is ordering:
+	// a waiter captures inserts BEFORE its scan and re-checks it under
+	// idleMu after incrementing waiters; a signaler bumps inserts before
+	// reading waiters. Go atomics are sequentially consistent, so either
+	// the signaler sees the waiter (and broadcasts) or the waiter sees
+	// the new sequence number (and skips the wait).
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	inserts  atomic.Uint64
+	waiters  atomic.Int64
 
 	done     atomic.Bool
 	timedOut atomic.Bool
@@ -277,56 +306,194 @@ func (r *parallelRun) place(w *parallelWorker, st *symex.State) {
 	shard := r.shards[int(r.rr.Add(1))%len(r.shards)]
 	shard.mu.Lock()
 	shard.f.insert(st, keys)
-	shed := 0
-	if shard.f.size() > r.maxPerShard {
-		shed = shard.f.shedWorst()
-	}
 	shard.mu.Unlock()
-	r.live.Add(int64(1 - shed))
-	if shed > 0 {
-		r.sheds.Add(int64(shed))
+	live := r.live.Add(1)
+	r.signalInsert()
+	if live > r.shedBudget {
+		r.shedOverBudget()
 	}
 }
 
-// take pops the next state for w: its own shard first, then stealing from
-// the others in ring order. It returns nil when the run should stop (goal
-// found, budget exhausted, context done, hard error) or when the search
-// space is globally exhausted — every shard empty while no worker holds a
-// state that could refill them. On success the worker is counted busy
-// (incremented before the pop, so a momentarily empty frontier with a
-// state in flight never reads as exhaustion).
+// shedOverBudget runs the work-conserving shed: when the run's aggregate
+// live count exceeds the global budget, every shard drops its worse half
+// (the same keep-half policy the sequential search applies at MaxStates).
+// shedMu serializes shedders and the re-check under it collapses the
+// thundering herd of workers that observed the same overflow.
+func (r *parallelRun) shedOverBudget() {
+	r.shedMu.Lock()
+	defer r.shedMu.Unlock()
+	if r.live.Load() <= r.shedBudget {
+		return
+	}
+	var shed int64
+	for _, shard := range r.shards {
+		shard.mu.Lock()
+		shed += int64(shard.f.shedWorst())
+		shard.mu.Unlock()
+	}
+	if shed > 0 {
+		r.live.Add(-shed)
+		r.sheds.Add(shed)
+	}
+}
+
+// signalInsert wakes idle workers after a placement. The waiters check
+// keeps the common case (everyone busy) lock-free; see the idleCond
+// field comment for why the ordering cannot miss a wakeup.
+func (r *parallelRun) signalInsert() {
+	r.inserts.Add(1)
+	if r.waiters.Load() == 0 {
+		return
+	}
+	r.idleMu.Lock()
+	r.idleCond.Broadcast()
+	r.idleMu.Unlock()
+}
+
+// wakeAll unconditionally wakes every idle worker so it can re-observe a
+// terminal condition (done, cancellation, exhaustion). Every worker-exit
+// path runs it: a worker only exits when the run is ending, and a
+// sleeping peer must not outlive the run.
+func (r *parallelRun) wakeAll() {
+	r.idleMu.Lock()
+	r.idleCond.Broadcast()
+	r.idleMu.Unlock()
+}
+
+// take pops the next state for w. It returns nil when the run should stop
+// (goal found, budget exhausted, context done, hard error) or when the
+// search space is globally exhausted — every shard empty while no worker
+// holds a state that could refill them. On success the worker is counted
+// busy (incremented before the pop, so a momentarily empty frontier with
+// a state in flight never reads as exhaustion). A worker that finds every
+// shard empty while peers are still running sleeps on idleCond until an
+// insert or a terminal condition wakes it — no spinning.
 func (r *parallelRun) take(w *parallelWorker) *symex.State {
-	n := len(r.shards)
 	for {
 		if r.done.Load() || r.ctx.Err() != nil {
 			return nil
 		}
 		if r.budgetExceeded() {
+			if r.live.Load() == 0 && r.busy.Load() == 0 {
+				// Exhaustion and budget overrun coincide. The sequential
+				// searcher checks the frontier before the budget (its loop
+				// condition), so exhaustion wins there; give it the same
+				// precedence here or the two paths report different
+				// outcomes for the same search.
+				return nil
+			}
 			r.timedOut.Store(true)
 			r.done.Store(true)
 			r.cancel()
 			return nil
 		}
+		// Capture the insert sequence before scanning: any insert after
+		// this point bumps it, so the wait below either sees the bump and
+		// rescans or provably scanned a frontier that already contained
+		// every insert it could have missed.
+		seq := r.inserts.Load()
 		r.busy.Add(1)
+		if st, aged := r.pickBest(w); st != nil {
+			if aged {
+				w.s.agingPicks++
+			}
+			w.picks++
+			r.live.Add(-1)
+			return st
+		}
+		r.busy.Add(-1)
+		if r.live.Load() == 0 && r.busy.Load() == 0 {
+			r.wakeAll() // peers must re-observe the exhaustion
+			return nil
+		}
+		r.idleMu.Lock()
+		r.waiters.Add(1)
+		for r.inserts.Load() == seq && !r.done.Load() && r.ctx.Err() == nil &&
+			!(r.live.Load() == 0 && r.busy.Load() == 0) {
+			r.idleCond.Wait()
+		}
+		r.waiters.Add(-1)
+		r.idleMu.Unlock()
+	}
+}
+
+// pickBest pops one state for w, preserving the sequential search order
+// as closely as sharding allows. Own-shard-first picking (the original
+// design) silently degraded n workers into n near-independent best-first
+// searches over random 1/n slices of the frontier: each worker greedily
+// drained its own shard's best while globally better states sat in a
+// neighbor's, and on priority-sensitive searches (ls4's goal lineage) the
+// aggregate step count *grew* with n — the parallel regression. Instead,
+// ESD picks now choose a virtual queue with the worker's rng (the same
+// queue-selection rule the sequential pickESD applies), peek every
+// shard's best key in that queue, and pop from the shard holding the
+// global minimum. Every live state is in every queue's heap, so one
+// queue's shard heads cover the whole frontier. The peek-then-pop window
+// is racy — a peer can take the peeked state first — but the re-pop takes
+// that shard's next-best, so the order stays approximately global, and
+// the retry loop rescans if the shard drained entirely.
+//
+// The anti-starvation aging pick keeps its cadence per worker (the
+// sequential frontier counts per frontier; with one frontier per run
+// that was the same thing) and drains the first non-empty FIFO in ring
+// order — oldest-of-one-shard rather than oldest-globally, which is
+// enough for the guarantee the FIFO exists for: every state is
+// eventually run.
+func (r *parallelRun) pickBest(w *parallelWorker) (*symex.State, bool) {
+	n := len(r.shards)
+	if r.opts.Strategy != StrategyESD {
+		// DFS/RandomPath have no cross-shard order to preserve: take from
+		// the first non-empty shard in ring order.
 		for i := 0; i < n; i++ {
 			shard := r.shards[(w.id+i)%n]
 			shard.mu.Lock()
 			st, aged := shard.f.pick(w.s.rng)
 			shard.mu.Unlock()
 			if st != nil {
-				if aged {
-					w.s.agingPicks++
-				}
-				w.picks++
-				r.live.Add(-1)
-				return st
+				return st, aged
 			}
 		}
-		r.busy.Add(-1)
-		if r.live.Load() == 0 && r.busy.Load() == 0 {
-			return nil // globally exhausted
+		return nil, false
+	}
+	f0 := r.shards[0].f
+	w.pickTick++
+	if f0.schedGuided && w.pickTick%agingPeriod == 0 {
+		for i := 0; i < n; i++ {
+			shard := r.shards[(w.id+i)%n]
+			shard.mu.Lock()
+			st := shard.f.pickFIFO()
+			shard.mu.Unlock()
+			if st != nil {
+				return st, true
+			}
 		}
-		time.Sleep(stealPollInterval)
+		// Every FIFO empty (non-guided queues don't feed them): fall
+		// through to a fitness pick.
+	}
+	q := w.s.rng.Intn(f0.numQueues)
+	for {
+		best := -1
+		var bestKey esdKey
+		for i := 0; i < n; i++ {
+			idx := (w.id + i) % n
+			shard := r.shards[idx]
+			shard.mu.Lock()
+			key, ok := shard.f.peekQueue(q)
+			shard.mu.Unlock()
+			if ok && (best < 0 || key.less(bestKey)) {
+				best, bestKey = idx, key
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		shard := r.shards[best]
+		shard.mu.Lock()
+		st := shard.f.popQueue(q)
+		shard.mu.Unlock()
+		if st != nil {
+			return st, false
+		}
 	}
 }
 
@@ -342,6 +509,11 @@ func (r *parallelRun) budgetExceeded() bool {
 // counters, repeat.
 func (r *parallelRun) runWorker(w *parallelWorker, wg *sync.WaitGroup) {
 	defer wg.Done()
+	// A worker only exits when the run is ending (found, budget, cancel,
+	// exhaustion, hard error); wake any sleeping peer so it re-observes
+	// the terminal condition instead of waiting for an insert that will
+	// never come.
+	defer r.wakeAll()
 	searchWorkers.Add(1)
 	defer searchWorkers.Add(-1)
 	for {
@@ -440,6 +612,7 @@ func (r *parallelRun) collect(workers []*parallelWorker, n int) *Result {
 		res.EpochChecks += est.EpochChecks
 		res.SolverQueries += w.s.sol.Queries - w.s.solBase
 		res.SolverHits += w.s.sol.CacheHits - w.solHitsBase
+		res.SolverSharedHits += w.s.sol.SharedHits - w.solSharedBase
 		res.SolverWallNanos += w.s.sol.WallNanos - w.solWallBase
 		res.AgingPicks += w.s.agingPicks
 		res.StepErrors += w.res.StepErrors
@@ -465,13 +638,14 @@ func (r *parallelRun) collect(workers []*parallelWorker, n int) *Result {
 			res.EagerForks += dp.EagerForks
 		}
 		res.WorkerWall = append(res.WorkerWall, telemetry.WorkerWall{
-			Worker:   w.id,
-			Steps:    est.Steps,
-			States:   est.States,
-			Picks:    w.picks,
-			BusyNS:   w.busyNS,
-			SolverNS: w.s.sol.WallNanos - w.solWallBase,
-			Found:    w.found,
+			Worker:     w.id,
+			Steps:      est.Steps,
+			States:     est.States,
+			Picks:      w.picks,
+			BusyNS:     w.busyNS,
+			SolverNS:   w.s.sol.WallNanos - w.solWallBase,
+			SharedHits: w.s.sol.SharedHits - w.solSharedBase,
+			Found:      w.found,
 		})
 	}
 	res.Pruned = res.PrunedCritical + res.PrunedInfinite

@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"esd/internal/replay"
 	"esd/internal/solver"
 	"esd/internal/symex"
+	"esd/internal/telemetry"
 	"esd/internal/trace"
 )
 
@@ -94,6 +96,137 @@ func TestParallelNormalizesToSequential(t *testing.T) {
 	if res.DedupDrops != 0 || len(res.WorkerWall) != 0 {
 		t.Errorf("sequential run leaked parallel bookkeeping: dedup=%d workers=%d",
 			res.DedupDrops, len(res.WorkerWall))
+	}
+}
+
+// TestParallelStepCapOutcomeMatchesSequential is the outcome-mapping
+// golden: a MaxSteps-exhausted run must classify identically on the
+// sequential and frontier-parallel paths — TimedOut (the step cap is a
+// budget, not space exhaustion), not Cancelled, Outcome() "timeout".
+// The parallel path used to be able to diverge here because its budget
+// check folded differently into the terminal flags than the sequential
+// loop's.
+func TestParallelStepCapOutcomeMatchesSequential(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+
+	for _, n := range []int{1, 4} {
+		res, err := Synthesize(context.Background(), prog, rep, Options{
+			Strategy:    StrategyESD,
+			Budget:      60 * time.Second,
+			Seed:        1,
+			MaxSteps:    50, // exhausted long before the deadlock is reachable
+			Parallelism: n,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found != nil {
+			t.Fatalf("n=%d: found the bug within 50 steps; the step cap did not bind", n)
+		}
+		if !res.TimedOut || res.Cancelled || res.Outcome() != "timeout" {
+			t.Errorf("n=%d: step-cap exhaustion → TimedOut=%v Cancelled=%v Outcome=%q, want timeout",
+				n, res.TimedOut, res.Cancelled, res.Outcome())
+		}
+	}
+}
+
+// TestParallelSharedCacheReuse attaches the request-scoped shared solver
+// cache and prune memo to a frontier-parallel run and checks the fact
+// flow is visible: definite verdicts get published, and the per-worker
+// reuse attribution sums to the run total.
+func TestParallelSharedCacheReuse(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+
+	sc := solver.NewSharedCache()
+	pf := NewPruneFacts()
+	res, err := Synthesize(context.Background(), prog, rep, Options{
+		Strategy:    StrategyESD,
+		Budget:      60 * time.Second,
+		Seed:        1,
+		Parallelism: 4,
+		SharedCache: sc,
+		PruneFacts:  pf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found == nil {
+		t.Fatalf("shared-cache parallel search found nothing (timedOut=%v)", res.TimedOut)
+	}
+	st := sc.Stats()
+	if st.Publishes == 0 || st.Entries == 0 {
+		t.Errorf("no component verdicts published into the shared cache: %+v", st)
+	}
+	var workerHits int
+	for _, ww := range res.WorkerWall {
+		workerHits += ww.SharedHits
+	}
+	if workerHits != res.SolverSharedHits {
+		t.Errorf("WorkerWall shared hits sum %d != Result.SolverSharedHits %d",
+			workerHits, res.SolverSharedHits)
+	}
+	if got := int(st.Hits); got != res.SolverSharedHits {
+		t.Errorf("cache-side hits %d != solver-side shared hits %d", got, res.SolverSharedHits)
+	}
+}
+
+// TestSharedCacheWarmDeterminism is the determinism contract for the
+// shared fact layer: a sequential (n=1-equivalent) run with a warm
+// SharedCache and PruneFacts — pre-filled by an identical prior run —
+// must stay byte-identical to the cold run in everything deterministic:
+// the flight trace and every replay-stable Result counter. Only wall
+// time and hit counts (which never enter the deterministic surface) may
+// differ.
+func TestSharedCacheWarmDeterminism(t *testing.T) {
+	rep, _ := listing1Report(t)
+	prog := lang.MustCompile("listing1.c", listing1)
+
+	sc := solver.NewSharedCache()
+	pf := NewPruneFacts()
+	run := func() (*Result, []telemetry.Event) {
+		rec := telemetry.NewRecorder(0)
+		res, err := Synthesize(context.Background(), prog, rep, Options{
+			Strategy:    StrategyESD,
+			Budget:      60 * time.Second,
+			Seed:        1,
+			SharedCache: sc,
+			PruneFacts:  pf,
+			Recorder:    rec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec.Events()
+	}
+
+	cold, coldEv := run()
+	if cold.Found == nil {
+		t.Fatal("cold run found nothing")
+	}
+	warm, warmEv := run()
+	if warm.Found == nil {
+		t.Fatal("warm run found nothing")
+	}
+	if warm.SolverSharedHits == 0 {
+		t.Error("warm run took nothing from the shared cache; the warmth test is vacuous")
+	}
+	type det struct {
+		Steps, States, Branch, Sched int64
+		Queries                      int
+		Pruned, Aging, Sheds         int64
+		MaxDepth                     int64
+	}
+	d := func(r *Result) det {
+		return det{r.Steps, r.StatesCreated, r.BranchForks, r.SchedForks,
+			r.SolverQueries, r.Pruned, r.AgingPicks, r.Sheds, r.MaxDepth}
+	}
+	if d(cold) != d(warm) {
+		t.Errorf("warm shared cache changed deterministic counters:\ncold %+v\nwarm %+v", d(cold), d(warm))
+	}
+	if !reflect.DeepEqual(coldEv, warmEv) {
+		t.Errorf("warm shared cache changed the flight trace (%d vs %d events)", len(coldEv), len(warmEv))
 	}
 }
 

@@ -1,0 +1,142 @@
+package search
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"esd/internal/symex"
+)
+
+// PruneFacts is a concurrency-safe memo of infinite-distance prune
+// verdicts, shared by every searcher of one synthesis request: all
+// frontier-parallel workers of a run and all seed variants of a portfolio
+// race. The infinite-distance gate (searcher.prunable's second gate) is a
+// pure function of the live threads' stack configurations and the
+// request's final goals — both fixed for the request — so whichever
+// worker or variant proves a configuration dead (or live) proves it for
+// everyone. Portfolio variants in particular duplicate each other's
+// search space wholesale; sharing the prune verdicts is how a variant
+// benefits from the dead ends its siblings already paid to prove.
+//
+// The memo is request-scoped by construction: verdicts depend on the
+// report's goal set, so a PruneFacts must never be reused across
+// requests for different reports. The engine creates one per synthesis
+// alongside the shared solver cache.
+//
+// Keys are exact serializations of the live stack configuration (not
+// hashes): a colliding key would silently flip a prune decision and
+// change search behavior, which is a correctness bug, not a performance
+// one.
+type PruneFacts struct {
+	shards [pruneShards]pruneShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	publishes atomic.Int64
+}
+
+const pruneShards = 16
+
+// maxPruneEntriesPerShard bounds the memo (~64k configurations total).
+// Past the cap, publishes are dropped; lookups keep working on what was
+// learned early, which is where the shared dead ends concentrate anyway.
+const maxPruneEntriesPerShard = 4096
+
+type pruneShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+// NewPruneFacts returns an empty shared prune memo.
+func NewPruneFacts() *PruneFacts {
+	p := &PruneFacts{}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]bool)
+	}
+	return p
+}
+
+// pruneFNV hashes a key onto a shard index.
+func pruneFNV(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// lookup returns a previously published verdict for the configuration.
+func (p *PruneFacts) lookup(key string) (infinite, ok bool) {
+	s := &p.shards[pruneFNV(key)%pruneShards]
+	s.mu.RLock()
+	infinite, ok = s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		p.hits.Add(1)
+		pruneFactHits.Inc()
+	} else {
+		p.misses.Add(1)
+		pruneFactMisses.Inc()
+	}
+	return infinite, ok
+}
+
+// publish stores a verdict for the configuration.
+func (p *PruneFacts) publish(key string, infinite bool) {
+	s := &p.shards[pruneFNV(key)%pruneShards]
+	s.mu.Lock()
+	if _, dup := s.m[key]; !dup && len(s.m) < maxPruneEntriesPerShard {
+		s.m[key] = infinite
+		s.mu.Unlock()
+		p.publishes.Add(1)
+		pruneFactPublishes.Inc()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// PruneFactsStats is a point-in-time snapshot of a PruneFacts memo.
+type PruneFactsStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Publishes int64 `json:"publishes"`
+}
+
+// Stats snapshots the memo counters.
+func (p *PruneFacts) Stats() PruneFactsStats {
+	return PruneFactsStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Publishes: p.publishes.Load(),
+	}
+}
+
+// pruneFactKey serializes the stack configuration the infinite-distance
+// gate depends on: every live thread's full stack of locations, in thread
+// order. Exited threads contribute nothing (the gate skips them), and the
+// separators keep frame/thread boundaries unambiguous so distinct
+// configurations cannot serialize equal.
+func pruneFactKey(st *symex.State) string {
+	var b []byte
+	for _, t := range st.Threads {
+		if t.Status == symex.ThreadExited {
+			continue
+		}
+		for _, l := range t.Stack() {
+			b = append(b, l.Fn...)
+			b = append(b, 0)
+			b = strconv.AppendInt(b, int64(l.Block), 10)
+			b = append(b, 0)
+			b = strconv.AppendInt(b, int64(l.Index), 10)
+			b = append(b, 1)
+		}
+		b = append(b, 2)
+	}
+	return string(b)
+}

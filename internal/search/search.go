@@ -156,6 +156,23 @@ type Options struct {
 	// of a frontier-parallel search (worker 0 uses Solver when set).
 	// Workers fall back to fresh solvers when it is nil.
 	Solvers SolverPool
+
+	// SharedCache, when non-nil, is the request-scoped cross-solver fact
+	// layer: every solver this search uses (the sequential solver, every
+	// frontier worker's) is attached to it for the run and detached
+	// before pooled solvers are returned, so siblings reuse each other's
+	// component verdicts instead of re-solving them. The engine creates
+	// one per synthesis and hands the same instance to every portfolio
+	// variant. Sharing is deterministic — verdicts are pure functions of
+	// the component — so attaching it keeps n=1/k=1 bit-identical to
+	// sequential.
+	SharedCache *solver.SharedCache
+	// PruneFacts, when non-nil, is the request-scoped shared memo of
+	// infinite-distance prune verdicts (see PruneFacts). Like SharedCache
+	// it is created by the engine and shared across workers and portfolio
+	// variants; verdicts depend on the report's goals, so it must never
+	// cross requests.
+	PruneFacts *PruneFacts
 }
 
 // SolverPool hands out solvers for frontier-parallel workers. The engine
@@ -239,6 +256,12 @@ type Result struct {
 	BranchForks   int64
 	SolverQueries int
 	SolverHits    int
+	// SolverSharedHits counts component verdicts this run's solvers took
+	// from the request's shared fact layer (a subset of the work that
+	// would otherwise be re-solved; 0 when no SharedCache is attached).
+	// Like SolverHits it varies with cache warmth and never enters the
+	// deterministic flight body.
+	SolverSharedHits int
 	// SchedForks counts scheduling-policy forks (the sched share of the
 	// fork split; BranchForks is the symbolic-branch share).
 	SchedForks int64
@@ -365,7 +388,16 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	if sol == nil {
 		sol = solver.New()
 	}
+	if opts.SharedCache != nil {
+		// Attach the request's shared fact layer for the run and detach
+		// before returning: a pooled solver carrying a stale attachment
+		// would leak one request's facts into the next and pin a dead
+		// cache alive.
+		sol.Shared = opts.SharedCache
+		defer func() { sol.Shared = nil }()
+	}
 	baseQueries, baseHits := sol.Queries, sol.CacheHits
+	baseShared := sol.SharedHits
 	baseWall := sol.WallNanos
 	eng, detector := pl.newVM(ctx, opts, sol)
 	s := newSearcher(pl, ctx, opts, eng, sol, start)
@@ -399,6 +431,7 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	res.EpochChecks = eng.Stats.EpochChecks
 	res.SolverQueries = sol.Queries - baseQueries
 	res.SolverHits = sol.CacheHits - baseHits
+	res.SolverSharedHits = sol.SharedHits - baseShared
 	res.SolverWallNanos = sol.WallNanos - baseWall
 	res.Pruned = res.PrunedCritical + res.PrunedInfinite
 	res.AgingPicks = s.agingPicks
@@ -1015,12 +1048,37 @@ func (s *searcher) prunable(st *symex.State) string {
 	if s.opts.Ablate.NoProximity {
 		return ""
 	}
-	for _, g := range s.finalGoals {
-		if s.stateDistance(st, []mir.Loc{g}) >= dist.Infinite {
+	if pf := s.opts.PruneFacts; pf != nil {
+		// The verdict is a pure function of (live stacks, final goals),
+		// so the shared memo returns exactly what infiniteDistance would
+		// compute — reuse changes no decision, only who pays for it.
+		key := pruneFactKey(st)
+		inf, ok := pf.lookup(key)
+		if !ok {
+			inf = s.infiniteDistance(st)
+			pf.publish(key, inf)
+		}
+		if inf {
 			return pruneInfinite
 		}
+		return ""
+	}
+	if s.infiniteDistance(st) {
+		return pruneInfinite
 	}
 	return ""
+}
+
+// infiniteDistance reports whether some final goal is at Infinite
+// proximity from every live thread — the instruction-granular
+// unreachability proof behind the pruneInfinite gate.
+func (s *searcher) infiniteDistance(st *symex.State) bool {
+	for _, g := range s.finalGoals {
+		if s.stateDistance(st, []mir.Loc{g}) >= dist.Infinite {
+			return true
+		}
+	}
+	return false
 }
 
 // shedStates drops the worst states when the pool overflows: keep the half

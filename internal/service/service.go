@@ -59,10 +59,13 @@ type Config struct {
 	// MaxConcurrent bounds simultaneously running syntheses; requests
 	// beyond it get 429 (default 4).
 	MaxConcurrent int
-	// MaxParallelism caps the per-request "parallelism" (frontier
-	// workers) and "portfolio" (racing seed variants) options: intra-
-	// synthesis fan-out multiplies the cores one admission slot consumes,
-	// so the server bounds it independently of MaxConcurrent (default 8).
+	// MaxParallelism caps a request's total intra-synthesis fan-out: each
+	// of "parallelism" (frontier workers) and "portfolio" (racing seed
+	// variants) clamps to it, and their product — the worker count the
+	// request actually spawns — must not exceed it (over-product requests
+	// get 400). Intra-synthesis fan-out multiplies the cores one
+	// admission slot consumes, so the server bounds it independently of
+	// MaxConcurrent (default 8).
 	MaxParallelism int
 }
 
@@ -160,8 +163,10 @@ type synthesizeRequest struct {
 	PreemptionBound int    `json:"preemption_bound,omitempty"`
 	RaceDetector    bool   `json:"race_detector,omitempty"`
 	// Parallelism runs the search frontier-parallel with that many
-	// workers; Portfolio races that many seed variants. Both are capped
-	// by the server's MaxParallelism.
+	// workers; Portfolio races that many seed variants. Each clamps to
+	// the server's MaxParallelism, and their product (the total worker
+	// count: every variant runs its own frontier workers) must not
+	// exceed it — over-product requests are rejected with 400.
 	Parallelism int `json:"parallelism,omitempty"`
 	Portfolio   int `json:"portfolio,omitempty"`
 	// Telemetry attaches a flight recorder to the synthesis; the result
@@ -335,10 +340,23 @@ func (s *Server) options(req *synthesizeRequest) ([]esd.SynthOption, error) {
 	if req.Parallelism < 0 || req.Portfolio < 0 {
 		return nil, fmt.Errorf("parallelism and portfolio must be non-negative")
 	}
-	if n := min(req.Parallelism, s.cfg.MaxParallelism); n > 1 {
+	// Each axis clamps to MaxParallelism (the documented single-axis
+	// behavior), but the axes multiply — a portfolio of k variants each
+	// running n frontier workers spawns n×k workers — so admission
+	// control must also cap the product: clamping independently admitted
+	// up to MaxParallelism² workers per request. An over-product
+	// combination is rejected rather than silently shrunk — there is no
+	// one fair way to scale down a two-axis request, so the caller
+	// chooses.
+	n := max(min(req.Parallelism, s.cfg.MaxParallelism), 1)
+	k := max(min(req.Portfolio, s.cfg.MaxParallelism), 1)
+	if n*k > s.cfg.MaxParallelism {
+		return nil, fmt.Errorf("parallelism × portfolio = %d workers exceeds the server cap %d (each portfolio variant runs its own frontier workers; lower one axis)", n*k, s.cfg.MaxParallelism)
+	}
+	if n > 1 {
 		opts = append(opts, esd.WithParallelism(n))
 	}
-	if k := min(req.Portfolio, s.cfg.MaxParallelism); k > 1 {
+	if k > 1 {
 		opts = append(opts, esd.WithPortfolio(k))
 	}
 	if req.Telemetry {

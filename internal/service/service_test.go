@@ -672,3 +672,51 @@ func TestServiceParallelAndPortfolio(t *testing.T) {
 		t.Errorf("negative parallelism: status %d, want 400: %s", resp.StatusCode, body)
 	}
 }
+
+// TestServiceParallelismPortfolioProductCap rejects requests whose
+// parallelism × portfolio product exceeds MaxParallelism: the axes
+// multiply (every portfolio variant runs its own frontier workers), so
+// capping them independently would admit up to MaxParallelism² workers
+// and defeat admission control.
+func TestServiceParallelismPortfolioProductCap(t *testing.T) {
+	ts := newTestServer(t, Config{MaxParallelism: 4})
+
+	// Each axis is within the cap, but the product (4 workers × 2
+	// variants = 8) is not: 400, on both /synthesize and /batch.
+	over := map[string]any{
+		"app": "listing1", "budget_ms": 60000, "parallelism": 4, "portfolio": 2,
+	}
+	resp, body := postJSON(t, ts.URL+"/synthesize", over)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-product /synthesize: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	rep, err := apps.Get("listing1").Coredump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repJSON, _ := rep.Encode()
+	resp, body = postJSON(t, ts.URL+"/batch", map[string]any{
+		"app": "listing1", "parallelism": 4, "portfolio": 2,
+		"reports": []json.RawMessage{repJSON},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-product /batch: status %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	// A combination whose product fits the cap still runs.
+	resp, body = postJSON(t, ts.URL+"/synthesize", map[string]any{
+		"app": "listing1", "budget_ms": 60000, "seed": 1, "parallelism": 2, "portfolio": 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-cap product: status %d: %s", resp.StatusCode, body)
+	}
+	var res struct {
+		Found bool `json:"found"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if !res.Found {
+		t.Errorf("in-cap product listing1 not found: %s", body)
+	}
+}

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"esd/internal/expr"
+)
+
+// SharedCache is a concurrency-safe fact layer over solved constraint
+// components, shared by every solver of one synthesis request: all
+// frontier-parallel workers of a run and all seed variants of a portfolio
+// race. Per-worker solvers stay single-threaded and keep their private
+// memo as the first-level cache; on a private miss they consult the
+// shared layer before paying for a solve, and publish the verified
+// verdict after. This is what keeps parallel modes from re-solving the
+// components their siblings already answered — the solver-bound apps'
+// parallel regression.
+//
+// Sharing is sound and deterministic because a component verdict is a
+// pure function of the component: the key is the exact sorted intern-ID
+// set of its conjuncts (terms are globally interned, so pointer-distinct
+// duplicates cannot alias), and the backtracking search that decides a
+// component is deterministic with a fixed node budget, so whichever
+// solver publishes first publishes the same answer every other solver
+// would have computed. Only definite verdicts (Sat with a verified
+// model, Unsat) are published: Unknown is a budget artifact, not a fact.
+// Model maps are shared read-only, the same invariant the private cache
+// already relies on.
+//
+// Epochs: intern IDs are never reused across reclaim sweeps, so stale
+// entries cannot alias new terms — but they would pin swept-era models
+// forever, so lookups flush the cache when the interner epoch moves.
+// Within one request the epoch cannot move at all: every search holds an
+// expr.Pin for its lifetime, which is the run pin that keeps a sweep
+// from invalidating the cache mid-search. The epoch check therefore only
+// fires on caches that outlive a request (none today; the persistent
+// cross-run cache of ROADMAP item 5 is the design this prototypes).
+type SharedCache struct {
+	shards [sharedShards]sharedShard
+	// epoch is the interner epoch the cache was filled in, and epochMu
+	// serializes the flush when it moves (lookups read it lock-free).
+	epoch   atomic.Uint64
+	epochMu sync.Mutex
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	publishes atomic.Int64
+}
+
+const sharedShards = 32
+
+type sharedShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]cacheEntry
+}
+
+// maxSharedEntriesPerShard bounds the shared cache (~128k components
+// total). Past the cap, publishes are dropped rather than evicting:
+// eviction under concurrent readers buys complexity for a case (a single
+// run solving >128k distinct components) that budget exhaustion reaches
+// first.
+const maxSharedEntriesPerShard = 4096
+
+// NewSharedCache returns an empty shared fact layer at the current
+// interner epoch.
+func NewSharedCache() *SharedCache {
+	c := &SharedCache{}
+	c.epoch.Store(expr.Epoch())
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]cacheEntry)
+	}
+	return c
+}
+
+// checkEpoch flushes the cache if a reclaim sweep completed since it was
+// filled. Searches pin the interner for their whole run, so this never
+// fires mid-request; it exists for caches held across requests.
+func (c *SharedCache) checkEpoch() {
+	ep := expr.Epoch()
+	if c.epoch.Load() == ep {
+		return
+	}
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	if c.epoch.Load() == ep {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[uint64][]cacheEntry)
+		s.mu.Unlock()
+	}
+	c.epoch.Store(ep)
+}
+
+// lookup returns a previously published verdict for the component with
+// exactly these intern IDs.
+func (c *SharedCache) lookup(key uint64, ids []uint64) (cacheEntry, bool) {
+	c.checkEpoch()
+	s := &c.shards[key%sharedShards]
+	s.mu.RLock()
+	chain := s.m[key]
+	i := matchEntry(chain, ids)
+	var ent cacheEntry
+	if i >= 0 {
+		ent = chain[i]
+	}
+	s.mu.RUnlock()
+	if i >= 0 {
+		c.hits.Add(1)
+		sharedHits.Inc()
+		return ent, true
+	}
+	c.misses.Add(1)
+	sharedMisses.Inc()
+	return cacheEntry{}, false
+}
+
+// publish stores a definite component verdict. Sat entries must carry a
+// model verified by concrete evaluation (checkComponent's invariant);
+// Unknown results are rejected — they reflect the publisher's node
+// budget, not a property of the component.
+func (c *SharedCache) publish(key uint64, ids []uint64, res Result, model map[string]int64) {
+	if res == Unknown {
+		return
+	}
+	c.checkEpoch()
+	s := &c.shards[key%sharedShards]
+	s.mu.Lock()
+	chain := s.m[key]
+	if i := matchEntry(chain, ids); i >= 0 {
+		// A sibling raced us to the same component; verdicts are equal by
+		// determinism, so keep the incumbent.
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= maxSharedEntriesPerShard {
+		s.mu.Unlock()
+		return
+	}
+	s.m[key] = append(chain, cacheEntry{ids: ids, res: res, model: model})
+	s.mu.Unlock()
+	c.publishes.Add(1)
+	sharedPublishes.Inc()
+}
+
+// SharedCacheStats is a point-in-time snapshot of a SharedCache.
+type SharedCacheStats struct {
+	// Hits and Misses count lookups from private-cache misses; Publishes
+	// counts definite verdicts stored.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Publishes int64 `json:"publishes"`
+	// Entries is the current number of cached component verdicts.
+	Entries int64 `json:"entries"`
+}
+
+// Stats snapshots the cache counters.
+func (c *SharedCache) Stats() SharedCacheStats {
+	var entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, chain := range s.m {
+			entries += int64(len(chain))
+		}
+		s.mu.RUnlock()
+	}
+	return SharedCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Publishes: c.publishes.Load(),
+		Entries:   entries,
+	}
+}

@@ -77,9 +77,20 @@ type Solver struct {
 	// forever, so Check flushes the cache when the epoch moves.
 	epoch uint64
 
+	// Shared, when non-nil, is the cross-solver fact layer of the current
+	// run (see SharedCache): consulted after the private cache misses on a
+	// component, published into after a component is decided. The search
+	// layer attaches it for the run's duration and detaches it before the
+	// solver returns to a pool.
+	Shared *SharedCache
+
 	// Stats
 	Queries   int
 	CacheHits int
+	// SharedHits counts component answers this solver took from the
+	// attached SharedCache (the per-worker reuse attribution; the cache's
+	// own counters aggregate across all attached solvers).
+	SharedHits int
 	// WallNanos accumulates wall time spent inside Check. Search reads its
 	// delta around every query batch to attribute synthesis wall time to the
 	// solver versus the search loop.
@@ -312,6 +323,15 @@ func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
 		return ent.res, ent.model
 	}
 	componentMisses.Inc()
+	if s.Shared != nil {
+		if ent, ok := s.Shared.lookup(key, ids); ok {
+			// A sibling solver already decided this component. Adopt the
+			// verdict into the private cache so repeats stay lock-free.
+			s.SharedHits++
+			s.cachePut(key, ids, ent.res, ent.model)
+			return ent.res, ent.model
+		}
+	}
 	st := &searchState{
 		solver:  s,
 		budget:  s.MaxNodes,
@@ -339,6 +359,12 @@ func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
 		}
 	}
 	s.cachePut(key, ids, res, model)
+	if s.Shared != nil {
+		// Publish only after verification: the shared layer carries the
+		// same "Sat entries hold verified models" invariant as the private
+		// cache (publish drops Unknown itself).
+		s.Shared.publish(key, ids, res, model)
+	}
 	return res, model
 }
 

@@ -20,8 +20,15 @@ var (
 	solverComponentSize = telemetry.NewHistogram("esd_solver_component_size",
 		"Conjuncts per independence-partition component decided by Check.", 1)
 
+	// The shared layer's lookups happen only on private-component misses,
+	// so shared hits+misses ≤ component misses by construction.
+	sharedPublishes = telemetry.NewCounter("esd_solver_shared_publishes_total",
+		"Definite component verdicts published into shared cross-worker fact caches.")
+
 	queryHits       = solverCacheHits.With("query")
 	queryMisses     = solverCacheMisses.With("query")
 	componentHits   = solverCacheHits.With("component")
 	componentMisses = solverCacheMisses.With("component")
+	sharedHits      = solverCacheHits.With("shared")
+	sharedMisses    = solverCacheMisses.With("shared")
 )

@@ -136,6 +136,10 @@ type WallStats struct {
 	SolveNS  int64 `json:"solve_ns"`
 	// SolverCacheHits counts query-cache hits (warm-solver dependent).
 	SolverCacheHits int64 `json:"solver_cache_hits"`
+	// SolverSharedHits counts component verdicts the run's solvers reused
+	// from the request's shared cross-worker fact cache (warmth-dependent
+	// like cache hits, hence wall-section only).
+	SolverSharedHits int64 `json:"solver_shared_hits,omitempty"`
 	// Workers attributes wall time and work per frontier-parallel worker
 	// (absent for sequential runs). Everything here depends on the OS
 	// scheduler's interleaving, which is why the rows live in the
@@ -153,10 +157,13 @@ type WorkerWall struct {
 	// Picks counts frontier states this worker ran.
 	Picks int64 `json:"picks"`
 	// BusyNS is wall time the worker spent executing quanta (the rest of
-	// its life was stealing scans and idle polling).
+	// its life was stealing scans and blocked idle waits).
 	BusyNS int64 `json:"busy_ns"`
 	// SolverNS is the worker's wall time inside solver.Check.
 	SolverNS int64 `json:"solver_ns"`
+	// SharedHits counts component verdicts this worker took from the
+	// shared cross-worker fact cache instead of re-solving.
+	SharedHits int `json:"shared_hits,omitempty"`
 	// Found reports whether this worker reached the goal first.
 	Found bool `json:"found,omitempty"`
 }

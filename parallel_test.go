@@ -120,8 +120,13 @@ func TestParallelSynthesisViaEngine(t *testing.T) {
 	if won != 1 {
 		t.Errorf("winning workers = %d, want exactly 1", won)
 	}
-	// The deterministic body must not leak schedule-dependent rows.
-	if bytes.Contains(detJSON(t, fr), []byte(`"workers"`)) {
+	// The deterministic body must not leak schedule-dependent rows or
+	// warmth-dependent shared-cache hit counts.
+	d := detJSON(t, fr)
+	if bytes.Contains(d, []byte(`"workers"`)) {
 		t.Error("DeterministicJSON leaked the per-worker wall section")
+	}
+	if bytes.Contains(d, []byte(`shared_hits`)) {
+		t.Error("DeterministicJSON leaked shared-cache hit counts")
 	}
 }
