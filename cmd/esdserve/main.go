@@ -5,18 +5,30 @@
 //
 //	esdserve -addr :8080 [-max-concurrent 4] [-max-parallelism 8]
 //	         [-default-budget 60s] [-max-budget 10m]
+//	         [-data-dir /var/lib/esd] [-job-slice 2s]
 //	         [-interner-high-water 268435456] [-debug-addr localhost:6060]
 //
 // Endpoints (see internal/service for the full wire contract):
 //
-//	POST /compile     compile MiniC source, get a reusable program_id
-//	POST /synthesize  synthesize one coredump (SSE progress with "stream")
-//	POST /batch       synthesize many coredumps of one program
-//	POST /reclaim     force one interner epoch sweep (409 while busy)
-//	GET  /healthz     liveness + engine/interner observability (epochs,
-//	                  sweeps, bytes reclaimed)
-//	GET  /metrics     Prometheus text exposition of the telemetry registry
-//	                  plus engine/service series
+//	POST   /compile          compile MiniC source, get a reusable program_id
+//	POST   /synthesize       synthesize one coredump (SSE progress with "stream")
+//	POST   /batch            synthesize many coredumps of one program
+//	POST   /jobs             submit an asynchronous synthesis job (202 + job ID)
+//	GET    /jobs             list job records
+//	GET    /jobs/{id}        poll one job record (result when done)
+//	GET    /jobs/{id}/events SSE stream of the job's state transitions
+//	DELETE /jobs/{id}        cancel and remove a job
+//	POST   /reclaim          force one interner epoch sweep (409 while busy)
+//	GET    /healthz          liveness + engine/interner/job-store observability
+//	GET    /metrics          Prometheus text exposition of the telemetry registry
+//	                         plus engine/service/jobs series
+//
+// -data-dir makes the job store durable (WAL + snapshot in that
+// directory): accepted jobs survive a crash or restart, resuming from
+// their last persisted search checkpoint. Without it jobs live in memory.
+// -job-slice is the scheduler quantum: a synthesis running longer is
+// preempted into a checkpoint and requeued, so long jobs round-robin
+// instead of monopolizing workers (0 disables slicing).
 //
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ — kept off the public address so profiling endpoints are
@@ -39,6 +51,7 @@ import (
 	"time"
 
 	"esd"
+	"esd/internal/jobs"
 	"esd/internal/service"
 )
 
@@ -53,8 +66,27 @@ func main() {
 			"interned-term footprint (bytes) above which idle epoch sweeps reclaim dead terms (0 disables)")
 		debugAddr = flag.String("debug-addr", "",
 			"listen address for the pprof debug server (e.g. localhost:6060; empty disables)")
+		dataDir  = flag.String("data-dir", "", "directory for the durable job store (empty = in-memory jobs)")
+		jobSlice = flag.Duration("job-slice", 2*time.Second, "scheduler quantum before a running job is checkpointed and requeued (0 disables)")
 	)
 	flag.Parse()
+	if *jobSlice <= 0 {
+		// The service treats zero as "use the default"; a negative config
+		// value is the explicit off switch the flag's 0 means.
+		*jobSlice = -1
+	}
+
+	var store jobs.Store
+	if *dataDir != "" {
+		fs, err := jobs.OpenFileStore(*dataDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "esdserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer fs.Close()
+		store = fs
+		log.Printf("esdserve: durable job store in %s", *dataDir)
+	}
 
 	eng := esd.New(
 		esd.WithDefaultBudget(*defaultBudget),
@@ -66,6 +98,8 @@ func main() {
 		MaxBudget:      *maxBudget,
 		MaxConcurrent:  *maxConcurrent,
 		MaxParallelism: *maxParallel,
+		JobStore:       store,
+		JobSlice:       *jobSlice,
 	})
 
 	hs := &http.Server{
@@ -99,5 +133,13 @@ func main() {
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "esdserve: %v\n", err)
 		os.Exit(1)
+	}
+	// After the listener drains, park the job workers: running jobs are
+	// preempted into checkpoints and persisted, so a durable store resumes
+	// them on the next start.
+	closeCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Close(closeCtx); err != nil {
+		log.Printf("esdserve: job shutdown: %v", err)
 	}
 }

@@ -6,9 +6,18 @@
 //	esdsynth -app pipeline -parallel 4      # frontier-parallel search, 4 workers
 //	esdsynth -app sqlite -portfolio 4       # race 4 seed variants; winner's
 //	                                        # seed is printed for replay
+//	esdsynth -app ls4 -job ck.json          # Ctrl-C checkpoints to ck.json
+//	                                        # instead of cancelling
+//	esdsynth -app ls4 -resume ck.json -job ck.json   # continue a checkpointed
+//	                                                 # search (repeatable)
 //
 // It reads the coredump, synthesizes an execution that reproduces the
 // reported bug, and writes the synthesized execution file for esdplay.
+//
+// A -job search interrupted with Ctrl-C is preempted at a deterministic
+// point and serialized to the checkpoint file; resuming it (possibly in a
+// new process) continues the identical search, and the final result is
+// byte-for-byte what the uninterrupted run would have produced.
 //
 // Observability: -trace flight.json records a per-synthesis flight report
 // (phase transitions, sampled frontier snapshots, fork/prune/solver
@@ -48,8 +57,13 @@ func main() {
 		portf    = flag.Int("portfolio", 0, "race this many seed variants (seed..seed+k-1); winner's seed is printed for replay")
 		traceOut = flag.String("trace", "", "write the per-synthesis flight report (JSON) to this file")
 		metrics  = flag.String("metrics", "", "write the telemetry registry (Prometheus text) to this file after the run")
+		jobFile  = flag.String("job", "", "checkpoint file: Ctrl-C preempts the search into it (resume with -resume) instead of cancelling; incompatible with -parallel and -portfolio")
+		resume   = flag.String("resume", "", "resume the search from this checkpoint file (written by an earlier -job run)")
 	)
 	flag.Parse()
+	if (*jobFile != "" || *resume != "") && (*parallel > 1 || *portf > 1) {
+		fatal(fmt.Errorf("-job/-resume checkpoint a single deterministic search; drop -parallel/-portfolio"))
+	}
 
 	// Ctrl-C cancels the search promptly (reported as "cancelled", not a
 	// timeout) instead of letting the budget run out.
@@ -104,6 +118,28 @@ func main() {
 	if *portf > 1 {
 		synthOpts = append(synthOpts, esd.WithPortfolio(*portf))
 	}
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		ck, err := esd.DecodeCheckpoint(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *resume, err))
+		}
+		synthOpts = append(synthOpts, esd.WithResume(ck))
+		fmt.Printf("resuming search from %s\n", *resume)
+	}
+	runCtx := ctx
+	if *jobFile != "" {
+		// Ctrl-C becomes a preemption, not a cancellation: the search parks
+		// at a deterministic point and serializes itself. The engine context
+		// stays live — cancelling it would race the checkpoint. A second
+		// Ctrl-C kills the process the usual way (NotifyContext stops
+		// relaying after the first).
+		runCtx = context.Background()
+		synthOpts = append(synthOpts, esd.WithPreempt(func() bool { return ctx.Err() != nil }))
+	}
 	if *traceOut != "" {
 		synthOpts = append(synthOpts, esd.WithTelemetry())
 	}
@@ -120,9 +156,19 @@ func main() {
 				ev.Elapsed.Seconds(), ev.Phase, ev.Steps, rate, ev.States, ev.Live, ev.Depth, ev.BestDist)
 		}))
 	}
-	res, err := eng.Synthesize(ctx, prog, rep, synthOpts...)
+	res, err := eng.Synthesize(runCtx, prog, rep, synthOpts...)
 	if err != nil {
 		fatal(err)
+	}
+	if res.Preempted {
+		if err := os.WriteFile(*jobFile, res.Checkpoint, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("search preempted after %.2fs (%d instructions, %d states)\n",
+			res.Stats.Duration.Seconds(), res.Stats.Steps, res.Stats.States)
+		fmt.Printf("checkpoint (%d bytes) written to %s\n", len(res.Checkpoint), *jobFile)
+		fmt.Printf("continue with: esdsynth <same flags> -resume %s -job %s\n", *jobFile, *jobFile)
+		return
 	}
 	if *traceOut != "" {
 		if fr := res.Report(); fr != nil {

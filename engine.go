@@ -309,6 +309,40 @@ func WithTelemetry() SynthOption {
 	return func(o *search.Options) { o.Recorder = telemetry.NewRecorder(0) }
 }
 
+// Checkpoint is a preempted synthesis, serialized: the search frontier,
+// state graph, RNG position, and counters, re-interned on load so it
+// survives interner reclaim epochs and process restarts. Produced by a
+// WithPreempt run (Result.Checkpoint), consumed by WithResume.
+type Checkpoint = search.Checkpoint
+
+// DecodeCheckpoint parses a checkpoint produced by a preempted synthesis
+// (Result.Checkpoint holds the encoded form).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return search.DecodeCheckpoint(data)
+}
+
+// WithPreempt makes the synthesis preemptible: fn is polled at the top of
+// every search iteration (never mid-quantum), and returning true parks
+// the run — the Result comes back with Preempted set and Checkpoint
+// holding the serialized search, resumable later with WithResume. The
+// jobs scheduler uses this to time-slice long syntheses. Preemptible runs
+// are single-configuration: WithPortfolio is ignored (a seed race has no
+// single deterministic frontier to checkpoint) and WithParallelism must
+// be <= 1. A resumed chain's final Result — counters, flight report,
+// DeterministicJSON — is byte-identical to an uninterrupted run's.
+func WithPreempt(fn func() bool) SynthOption {
+	return func(o *search.Options) { o.Preempt = fn }
+}
+
+// WithResume continues a preempted synthesis from its checkpoint instead
+// of starting fresh. The program, report goals, and determinism-steering
+// options (strategy, seed, quantum, step and state caps, ablations) must
+// match the checkpointed run's; the budget may differ. Combine with
+// WithPreempt to keep time-slicing the resumed run.
+func WithResume(ck *Checkpoint) SynthOption {
+	return func(o *search.Options) { o.Resume = ck }
+}
+
 // Synthesize searches for an execution of prog that reproduces rep. It
 // honors ctx: cancellation aborts the search promptly (the VM polls the
 // context on a short step cadence) and is reported as Result.Cancelled;
@@ -389,12 +423,19 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	if so.PruneFacts == nil {
 		so.PruneFacts = search.NewPruneFacts()
 	}
+	if so.Portfolio > 1 && (so.Preempt != nil || so.Resume != nil) {
+		// Preemptible runs are single-configuration (see WithPreempt): a
+		// seed race has no single deterministic frontier to checkpoint.
+		so.Portfolio = 0
+	}
 	var res *search.Result
 	var err error
+	var pfRequested, pfEffective int
 	if so.Portfolio > 1 {
+		pfRequested = so.Portfolio
 		orig := so.Solver
-		res, so, err = e.portfolioRace(ctx, prog, rep, so)
-		if so.Solver != orig {
+		res, so, pfEffective, err = e.portfolioRace(ctx, prog, rep, so)
+		if err == nil && so.Solver != orig {
 			// The winner was a secondary variant: its pooled solver stays
 			// checked out through the solve phase below.
 			defer e.solvers.Put(so.Solver)
@@ -419,9 +460,27 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 			SolverQueries:    res.SolverQueries,
 			SolverCacheHits:  res.SolverHits,
 			SolverSharedHits: res.SolverSharedHits,
+			SolverWallNanos:  res.SolverWallNanos,
 			Workers:          res.Workers,
 			Interner:         expr.InternerStats(),
 		},
+	}
+	if res.Preempted {
+		// The run is parked, not done: hand back the serialized search and
+		// skip the solve phase and the done event — the segment that finally
+		// completes the resumed chain finishes the trace, keeping the chain's
+		// final report byte-identical to an uninterrupted run's.
+		blob, err := res.Checkpoint.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("esd: encoding checkpoint: %w", err)
+		}
+		out.Preempted = true
+		out.Checkpoint = blob
+		out.CheckpointNanos = res.CheckpointNanos
+		if so.Recorder != nil {
+			out.report = buildFlightReport(so, rep, res, 0, time.Since(reqStart), pfRequested, pfEffective)
+		}
+		return out, nil
 	}
 	emit := func(ph Phase) {
 		if so.OnProgress != nil {
@@ -450,7 +509,7 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	}
 	emit(PhaseDone)
 	if so.Recorder != nil {
-		out.report = buildFlightReport(so, rep, res, solveNS, time.Since(reqStart))
+		out.report = buildFlightReport(so, rep, res, solveNS, time.Since(reqStart), pfRequested, pfEffective)
 	}
 	return out, nil
 }
@@ -485,13 +544,31 @@ var (
 // returns the winning result together with the options that produced it
 // — the winner's seed, solver, and recorder — so the caller's solve
 // phase and flight report describe the winning configuration exactly as
-// a single-seed run of that seed would. With no winner, variant 0 (the
-// caller's own seed) is the representative result: its timeout,
-// exhaustion, or error is what a plain run would have reported.
-func (e *Engine) portfolioRace(ctx context.Context, prog *Program, rep *BugReport, base search.Options) (*search.Result, search.Options, error) {
+// a single-seed run of that seed would, plus the effective variant count
+// after admission clamping (recorded in the flight report's wall
+// section). With no winner, variant 0 (the caller's own seed) is the
+// representative result: its timeout, exhaustion, or error is what a
+// plain run would have reported.
+//
+// Admission adapts to the machine: beyond the hard maxPortfolio cap, k is
+// clamped to the parallelism actually available — GOMAXPROCS divided by
+// the workers each variant will run — so a portfolio request on a small
+// box degrades to fewer variants instead of k full searches timeslicing
+// each other into uniform slowness.
+func (e *Engine) portfolioRace(ctx context.Context, prog *Program, rep *BugReport, base search.Options) (*search.Result, search.Options, int, error) {
 	k := base.Portfolio
 	if k > maxPortfolio {
 		k = maxPortfolio
+	}
+	perVariant := base.Parallelism
+	if perVariant < 1 {
+		perVariant = 1
+	}
+	if avail := runtime.GOMAXPROCS(0) / perVariant; k > avail {
+		k = avail
+	}
+	if k < 1 {
+		k = 1
 	}
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -555,21 +632,22 @@ func (e *Engine) portfolioRace(ctx context.Context, prog *Program, rep *BugRepor
 		// Only reachable with no winner (win == 0): surface the base
 		// variant's error and hand the caller's own options back so its
 		// solver bookkeeping sees no substitution.
-		return nil, base, l.err
+		return nil, base, k, l.err
 	}
 	if l.res.Found != nil {
 		e.portfolioWon.Add(1)
 		portfolioWins.With(strconv.Itoa(win)).Inc()
 	}
 	portfolioOutcomes.With(l.res.Outcome()).Inc()
-	return l.res, l.so, nil
+	return l.res, l.so, k, nil
 }
 
 // buildFlightReport assembles the WithTelemetry report from a finished
 // run: the search's deterministic counters and trace, plus the wall-clock
 // attribution section (which DeterministicJSON strips — wall times and
-// warm-solver cache hits vary run to run).
-func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, solveNS int64, total time.Duration) *telemetry.Report {
+// warm-solver cache hits vary run to run; pfRequested/pfEffective record
+// portfolio admission clamping, a property of the machine, not the seed).
+func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, solveNS int64, total time.Duration, pfRequested, pfEffective int) *telemetry.Report {
 	searchNS := res.Duration.Nanoseconds() - res.SolverWallNanos
 	if searchNS < 0 {
 		searchNS = 0
@@ -609,13 +687,15 @@ func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, so
 		Trace:        so.Recorder.Events(),
 		TraceDropped: so.Recorder.Dropped(),
 		Wall: &telemetry.WallStats{
-			TotalNS:          total.Nanoseconds(),
-			SearchNS:         searchNS,
-			SolverNS:         res.SolverWallNanos,
-			SolveNS:          solveNS,
-			SolverCacheHits:  int64(res.SolverHits),
-			SolverSharedHits: int64(res.SolverSharedHits),
-			Workers:          res.WorkerWall,
+			TotalNS:            total.Nanoseconds(),
+			SearchNS:           searchNS,
+			SolverNS:           res.SolverWallNanos,
+			SolveNS:            solveNS,
+			SolverCacheHits:    int64(res.SolverHits),
+			SolverSharedHits:   int64(res.SolverSharedHits),
+			PortfolioRequested: pfRequested,
+			PortfolioEffective: pfEffective,
+			Workers:            res.WorkerWall,
 		},
 	}
 }

@@ -141,6 +141,20 @@ type Result struct {
 	Stats Stats
 	// OtherBugs are failures found that do not match the report.
 	OtherBugs []string
+	// Preempted reports that a WithPreempt run was parked mid-search:
+	// nothing was found yet, and Checkpoint holds the serialized search,
+	// ready for WithResume (decode with DecodeCheckpoint). Counters in
+	// Stats are cumulative across the whole resume chain.
+	Preempted bool
+	// Checkpoint is the encoded search checkpoint of a preempted run
+	// (nil otherwise). It is self-contained — constraints are re-interned
+	// on load — so it survives interner reclaim epochs and process
+	// restarts.
+	Checkpoint []byte
+	// CheckpointNanos is the wall-clock cost of building the checkpoint
+	// (serialization only, not the search), for capacity planning of the
+	// job scheduler's slice length.
+	CheckpointNanos int64
 	// Err records a per-report failure inside SynthesizeBatch (always nil
 	// on results returned directly by Synthesize, which returns its error).
 	Err error
@@ -175,6 +189,11 @@ type Stats struct {
 	// shared cross-worker/cross-variant solver cache (0 for runs where
 	// every component was first solved by the solver that needed it).
 	SolverSharedHits int
+	// SolverWallNanos is wall-clock time spent inside the constraint
+	// solver (cumulative across a resume chain, like the other counters).
+	// Wall-clock, so it varies run to run; the jobs subsystem records it
+	// per job.
+	SolverWallNanos int64
 	// Workers is the number of frontier-parallel search workers the run
 	// used (1 for a sequential search; portfolio variants each count
 	// their own).

@@ -1,0 +1,245 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore persists jobs under one directory as a snapshot plus a
+// write-ahead log:
+//
+//	<dir>/jobs.snap  — JSON snapshot of every job at the last compaction
+//	<dir>/jobs.wal   — JSONL redo log of every Put/Delete since
+//
+// Every mutation appends one fsynced WAL record before returning, so a
+// SIGKILL at any point loses at most the record being written; a torn
+// final line (the crash landed mid-write) is detected by JSON parse
+// failure on replay and dropped — everything before it is intact.
+// Records are whole-job (last write wins), which keeps replay trivial:
+// load the snapshot, then apply the log in order. When the log grows past
+// compactEvery records the store rewrites the snapshot (write-temp,
+// fsync, rename) and truncates the log, bounding recovery time.
+type FileStore struct {
+	dir string
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	wal        *os.File
+	walRecords int
+}
+
+const (
+	snapName = "jobs.snap"
+	walName  = "jobs.wal"
+	// compactEvery bounds WAL replay: a checkpointed long job writes one
+	// record per slice, so this is a few minutes of preemptions, not a
+	// per-request cost.
+	compactEvery = 256
+)
+
+// snapFile is the jobs.snap schema.
+type snapFile struct {
+	Schema string `json:"schema"`
+	Jobs   []*Job `json:"jobs"`
+}
+
+// walRecord is one jobs.wal line: a full job (upsert) or a deletion.
+type walRecord struct {
+	Job    *Job   `json:"job,omitempty"`
+	Delete string `json:"delete,omitempty"`
+}
+
+const snapSchema = "esd.jobs/v1"
+
+// OpenFileStore opens (creating if needed) the job store in dir and
+// replays its snapshot and log.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store dir: %w", err)
+	}
+	s := &FileStore{dir: dir, jobs: map[string]*Job{}}
+
+	snapPath := filepath.Join(dir, snapName)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return nil, fmt.Errorf("jobs: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if snap.Schema != snapSchema {
+			return nil, fmt.Errorf("jobs: snapshot %s has schema %q, want %q", snapPath, snap.Schema, snapSchema)
+		}
+		for _, j := range snap.Jobs {
+			s.jobs[j.ID] = j
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobs: reading snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	if f, err := os.Open(walPath); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(nil, 64<<20) // checkpoints can be large
+		for sc.Scan() {
+			var rec walRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				// A torn final record from a crash mid-append; everything
+				// after it (there is nothing, barring disk corruption) is
+				// unreachable anyway.
+				break
+			}
+			switch {
+			case rec.Delete != "":
+				delete(s.jobs, rec.Delete)
+			case rec.Job != nil:
+				s.jobs[rec.Job.ID] = rec.Job
+			}
+			s.walRecords++
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("jobs: reading WAL: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("jobs: opening WAL: %w", err)
+	}
+
+	// Fold the replayed log into a fresh snapshot immediately: recovery
+	// must not inherit an unbounded WAL from the previous life.
+	if err := s.compactLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) Put(j *Job) error {
+	j = j.Clone()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(walRecord{Job: j}); err != nil {
+		return err
+	}
+	s.jobs[j.ID] = j
+	return nil
+}
+
+func (s *FileStore) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.Clone(), true
+}
+
+func (s *FileStore) List() ([]*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.Clone())
+	}
+	return out, nil
+}
+
+func (s *FileStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; !ok {
+		return nil
+	}
+	if err := s.appendLocked(walRecord{Delete: id}); err != nil {
+		return err
+	}
+	delete(s.jobs, id)
+	return nil
+}
+
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// appendLocked writes one durable WAL record, compacting first when the
+// log is full. Called with s.mu held.
+func (s *FileStore) appendLocked(rec walRecord) error {
+	if s.wal == nil {
+		return fmt.Errorf("jobs: store is closed")
+	}
+	if s.walRecords >= compactEvery {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding WAL record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.wal.Write(line); err != nil {
+		return fmt.Errorf("jobs: appending WAL: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("jobs: syncing WAL: %w", err)
+	}
+	s.walRecords++
+	return nil
+}
+
+// compactLocked rewrites the snapshot from the in-memory state and starts
+// a fresh WAL. Crash-safe ordering: the new snapshot lands atomically
+// (temp + rename) before the log truncates, so every moment in time has
+// either (old snap, full log) or (new snap, empty-or-newer log) — never a
+// window where a job exists only in memory. Called with s.mu held.
+func (s *FileStore) compactLocked() error {
+	snap := snapFile{Schema: snapSchema, Jobs: make([]*Job, 0, len(s.jobs))}
+	for _, j := range s.jobs {
+		snap.Jobs = append(snap.Jobs, j)
+	}
+	data, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("jobs: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: writing snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("jobs: installing snapshot: %w", err)
+	}
+
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: resetting WAL: %w", err)
+	}
+	s.wal = wal
+	s.walRecords = 0
+	return nil
+}

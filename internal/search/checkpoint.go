@@ -1,0 +1,441 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"esd/internal/mir"
+	"esd/internal/race"
+	"esd/internal/sched"
+	"esd/internal/symex"
+	"esd/internal/telemetry"
+)
+
+// This file makes a sequential search preemptible and resumable: at the
+// top of the run loop (never mid-quantum) the searcher can be asked to
+// stop and serialize everything its future behavior depends on — the
+// frontier structures verbatim, the state graph, the VM's allocators, the
+// RNG draw count, and every counter that feeds the final Result. Resuming
+// replays none of the work: the loop continues from the exact iteration
+// it would have run next, which is what makes a preempted-and-resumed
+// run's DeterministicJSON byte-identical to an uninterrupted one.
+//
+// The frontier is serialized structurally, not semantically: a live state
+// re-inserted after a quantum leaves its older heap entries behind (lazy
+// deletion), so its effective priority is the minimum over all keys it
+// was ever inserted with while it stays live. Re-scoring on resume would
+// erase that history and diverge. Heap entries are therefore recorded
+// as (state, fit) pairs per queue; dead entries are dropped (a state not
+// live at the loop top can never become live again, and discarding a
+// dead entry consumes no randomness), except in the DFS/RandomPath pool,
+// where slice *length* feeds rng.Intn — dead pool slots are kept as
+// explicit tombstones so the resumed draw sequence matches.
+
+// CheckpointSchema versions the checkpoint layout.
+const CheckpointSchema = "esd.checkpoint/v1"
+
+// HeapSlot is one serialized virtual-queue heap entry: a root index and
+// the fitness it was inserted with (the entry's ID tie-break is the
+// state's own ID).
+type HeapSlot struct {
+	S int   `json:"s"`
+	F int64 `json:"f"`
+}
+
+// poolTombstone marks a dead DFS/RandomPath pool slot in PoolOrder.
+const poolTombstone = -1
+
+// Checkpoint is a preempted sequential search, serialized. It captures
+// the run's identity (program fingerprint, goals, options that steer the
+// search), the full live-state graph, the frontier structures verbatim,
+// and the cumulative counters, so ResumeFrom continues the run as if it
+// had never stopped — in the same process or a different one.
+type Checkpoint struct {
+	Schema      string `json:"schema"`
+	Fingerprint uint64 `json:"fingerprint"`
+
+	// Identity: a resume must run the same search. Budget deliberately
+	// absent — it bounds wall clock, which is outside the deterministic
+	// body, and a resuming caller may lengthen it.
+	Strategy        Strategy  `json:"strategy"`
+	Seed            int64     `json:"seed"`
+	Quantum         int       `json:"quantum"`
+	MaxStates       int       `json:"max_states"`
+	MaxSteps        int64     `json:"max_steps"`
+	PreemptionBound int       `json:"preemption_bound,omitempty"`
+	WithRace        bool      `json:"with_race,omitempty"`
+	Ablate          Ablate    `json:"ablate,omitempty"`
+	Goals           []mir.Loc `json:"goals"`
+	NumQueues       int       `json:"num_queues"`
+
+	// Progress: cumulative wall time consumed and RNG draws made.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	RngDraws  int64 `json:"rng_draws"`
+
+	// VM: cumulative engine stats and the allocator/poll counters a
+	// resumed engine must continue exactly (state IDs are the search's
+	// deterministic tie-break; object IDs name memory inside states).
+	EngStats    symex.Stats `json:"eng_stats"`
+	NextStateID int         `json:"next_state_id"`
+	NextObjID   int         `json:"next_obj_id"`
+	CtxTick     int         `json:"ctx_tick"`
+
+	// Searcher bookkeeping.
+	AllPicks   int   `json:"all_picks"`
+	FrontPicks int   `json:"front_picks"`
+	AgingPicks int64 `json:"aging_picks"`
+	Sheds      int64 `json:"sheds"`
+	MaxDepth   int64 `json:"max_depth"`
+	BestFit    int64 `json:"best_fit"`
+
+	// Frontier: the state graph plus the queue structures verbatim.
+	// Pool.Roots lists the live states sorted by ID; AliveKeys carries
+	// each root's current per-queue fitness (ESD only); Heaps, FIFO, and
+	// PoolOrder reference roots by position.
+	Pool      *symex.Pool  `json:"pool"`
+	AliveKeys [][]int64    `json:"alive_keys,omitempty"`
+	Heaps     [][]HeapSlot `json:"heaps,omitempty"`
+	FIFO      []int        `json:"fifo,omitempty"`
+	PoolOrder []int        `json:"pool_order,omitempty"`
+
+	// Result accumulators restored into the resumed run's Result.
+	Terminals      map[symex.StateStatus]int64 `json:"terminals,omitempty"`
+	OtherBugs      []string                    `json:"other_bugs,omitempty"`
+	StepErrors     int64                       `json:"step_errors,omitempty"`
+	PrunedCritical int64                       `json:"pruned_critical,omitempty"`
+	PrunedInfinite int64                       `json:"pruned_infinite,omitempty"`
+
+	// Solver share consumed so far (query count is deterministic; the
+	// hit/wall numbers only keep the cumulative Result honest).
+	SolverQueries    int   `json:"solver_queries"`
+	SolverHits       int   `json:"solver_hits"`
+	SolverSharedHits int   `json:"solver_shared_hits"`
+	SolverWallNS     int64 `json:"solver_wall_ns"`
+
+	// Cross-cutting mutable collaborators.
+	Recorder *telemetry.RecorderState `json:"recorder,omitempty"`
+	Race     *race.DetectorState      `json:"race,omitempty"`
+
+	// Scheduling-policy stats counters (decisions gate on per-state
+	// marks, so counters are all a policy needs restored).
+	PolSnapshotsTaken     int `json:"pol_snapshots_taken,omitempty"`
+	PolSnapshotsActivated int `json:"pol_snapshots_activated,omitempty"`
+	PolEagerForks         int `json:"pol_eager_forks,omitempty"`
+	PolPreemptions        int `json:"pol_preemptions,omitempty"`
+}
+
+// Encode marshals the checkpoint.
+func (ck *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(ck)
+}
+
+// DecodeCheckpoint unmarshals a checkpoint produced by Encode.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("search: decoding checkpoint: %w", err)
+	}
+	if ck.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("search: unsupported checkpoint schema %q (want %q)", ck.Schema, CheckpointSchema)
+	}
+	return ck, nil
+}
+
+// compatible rejects a resume whose program or options would not replay
+// the checkpointed search (called before the plan exists; validatePlan
+// checks the plan-derived layout).
+func (ck *Checkpoint) compatible(prog *mir.Program, opts Options) error {
+	if ck.Schema != CheckpointSchema {
+		return fmt.Errorf("search: unsupported checkpoint schema %q", ck.Schema)
+	}
+	if fp := prog.Fingerprint(); fp != ck.Fingerprint {
+		return fmt.Errorf("search: checkpoint is for program fingerprint %x, not %x", ck.Fingerprint, fp)
+	}
+	if ck.Strategy != opts.Strategy || ck.Seed != opts.Seed ||
+		ck.Quantum != opts.Quantum || ck.MaxStates != opts.MaxStates ||
+		ck.MaxSteps != opts.MaxSteps || ck.PreemptionBound != opts.PreemptionBound ||
+		ck.Ablate != opts.Ablate {
+		return fmt.Errorf("search: checkpoint options do not match the resume request")
+	}
+	return nil
+}
+
+// validatePlan rejects a resume whose goal/queue layout diverged from the
+// checkpointed one (a changed report on an unchanged program).
+func (ck *Checkpoint) validatePlan(pl *plan) error {
+	if len(ck.Goals) != len(pl.goals) {
+		return fmt.Errorf("search: checkpoint has %d goals, report has %d", len(ck.Goals), len(pl.goals))
+	}
+	for i, g := range ck.Goals {
+		if g != pl.goals[i] {
+			return fmt.Errorf("search: checkpoint goal %d is %v, report has %v", i, g, pl.goals[i])
+		}
+	}
+	if ck.NumQueues != len(pl.queueGoals) {
+		return fmt.Errorf("search: checkpoint has %d virtual queues, plan has %d", ck.NumQueues, len(pl.queueGoals))
+	}
+	return nil
+}
+
+// countingSource wraps a rand.Source and counts Int63 draws so a
+// checkpoint can record the RNG position and a resume can replay to it.
+// It deliberately does not implement rand.Source64: every draw then
+// funnels through Int63, making the count exact. The search only uses
+// rand.Intn with small bounds, whose draw sequence is Int63-only either
+// way, so wrapping changes no picks.
+type countingSource struct {
+	src   rand.Source
+	draws int64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// skip advances the source by n draws (resume replay).
+func (c *countingSource) skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.Int63()
+	}
+}
+
+// buildCheckpoint serializes the searcher at the run-loop top. res must
+// already hold the run's cumulative counters (the Synthesize assignment
+// block runs first), and detector is the run's race detector (nil when
+// detection is off).
+func (s *searcher) buildCheckpoint(res *Result, detector *race.Detector) (*Checkpoint, error) {
+	roots := make([]*symex.State, 0, len(s.front.alive))
+	for st := range s.front.alive {
+		roots = append(roots, st)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	idx := make(map[*symex.State]int, len(roots))
+	for i, st := range roots {
+		idx[st] = i
+	}
+
+	nextStateID, nextObjID, ctxTick := s.eng.CheckpointCounters()
+	ck := &Checkpoint{
+		Schema:      CheckpointSchema,
+		Fingerprint: s.prog.Fingerprint(),
+
+		Strategy:        s.opts.Strategy,
+		Seed:            s.opts.Seed,
+		Quantum:         s.opts.Quantum,
+		MaxStates:       s.opts.MaxStates,
+		MaxSteps:        s.opts.MaxSteps,
+		PreemptionBound: s.opts.PreemptionBound,
+		WithRace:        detector != nil,
+		Ablate:          s.opts.Ablate,
+		Goals:           s.finalGoals,
+		NumQueues:       len(s.queueGoals),
+
+		ElapsedNS: res.Duration.Nanoseconds(),
+		RngDraws:  s.rngSrc.draws,
+
+		EngStats:    s.eng.Stats,
+		NextStateID: nextStateID,
+		NextObjID:   nextObjID,
+		CtxTick:     ctxTick,
+
+		AllPicks:   s.allPicks,
+		FrontPicks: s.front.picks,
+		AgingPicks: s.agingPicks,
+		Sheds:      s.sheds,
+		MaxDepth:   s.maxDepth,
+		BestFit:    s.bestFit,
+
+		Pool: symex.EncodePool(roots),
+
+		Terminals:      res.Terminals,
+		OtherBugs:      res.OtherBugs,
+		StepErrors:     res.StepErrors,
+		PrunedCritical: res.PrunedCritical,
+		PrunedInfinite: res.PrunedInfinite,
+
+		SolverQueries:    res.SolverQueries,
+		SolverHits:       res.SolverHits,
+		SolverSharedHits: res.SolverSharedHits,
+		SolverWallNS:     res.SolverWallNanos,
+
+		Recorder: s.opts.Recorder.Snapshot(),
+		Race:     detector.Snapshot(),
+	}
+	if s.opts.Strategy == StrategyESD {
+		ck.AliveKeys = make([][]int64, len(roots))
+		for i, st := range roots {
+			keys := s.front.alive[st]
+			fits := make([]int64, len(keys))
+			for q, k := range keys {
+				fits[q] = k.fit
+			}
+			ck.AliveKeys[i] = fits
+		}
+		ck.Heaps = make([][]HeapSlot, len(s.front.heaps))
+		for q, h := range s.front.heaps {
+			for _, e := range h {
+				if i, live := idx[e.st]; live {
+					ck.Heaps[q] = append(ck.Heaps[q], HeapSlot{S: i, F: e.key.fit})
+				}
+			}
+		}
+		for _, st := range s.front.fifo {
+			if i, live := idx[st]; live {
+				ck.FIFO = append(ck.FIFO, i)
+			}
+		}
+	} else {
+		for _, st := range s.front.pool {
+			if i, live := idx[st]; live {
+				ck.PoolOrder = append(ck.PoolOrder, i)
+			} else {
+				// Dead slots stay: RandomPath draws rng.Intn(len(pool)),
+				// so the slice length is part of the deterministic replay.
+				ck.PoolOrder = append(ck.PoolOrder, poolTombstone)
+			}
+		}
+	}
+
+	switch p := s.eng.Policy.(type) {
+	case *sched.DeadlockPolicy:
+		ck.PolSnapshotsTaken = p.SnapshotsTaken
+		ck.PolSnapshotsActivated = p.SnapshotsActivated
+		ck.PolEagerForks = p.EagerForks
+	case *sched.RacePolicy:
+		ck.PolPreemptions = p.Preemptions
+	case *sched.BoundedPolicy:
+		ck.PolPreemptions = p.Preemptions
+	}
+	return ck, nil
+}
+
+// restore rebuilds the searcher from a checkpoint: VM counters, RNG
+// position, frontier structures, and collaborator state. roots is the
+// decoded Pool.Roots slice. Called instead of run's fresh-frontier setup;
+// the caller then enters runLoop directly.
+func (s *searcher) restore(ck *Checkpoint, roots []*symex.State, detector *race.Detector) error {
+	if len(roots) != len(ck.Pool.Roots) {
+		return fmt.Errorf("search: checkpoint decoded %d roots, expected %d", len(roots), len(ck.Pool.Roots))
+	}
+	s.eng.Stats = ck.EngStats
+	s.eng.RestoreCounters(ck.NextStateID, ck.NextObjID, ck.CtxTick)
+	s.rngSrc.skip(ck.RngDraws)
+	s.allPicks = ck.AllPicks
+	s.agingPicks = ck.AgingPicks
+	s.sheds = ck.Sheds
+	s.maxDepth = ck.MaxDepth
+	s.bestFit = ck.BestFit
+
+	detector.Restore(ck.Race)
+	switch p := s.eng.Policy.(type) {
+	case *sched.DeadlockPolicy:
+		p.SnapshotsTaken = ck.PolSnapshotsTaken
+		p.SnapshotsActivated = ck.PolSnapshotsActivated
+		p.EagerForks = ck.PolEagerForks
+	case *sched.RacePolicy:
+		p.Preemptions = ck.PolPreemptions
+	case *sched.BoundedPolicy:
+		p.Preemptions = ck.PolPreemptions
+	}
+
+	s.front = newQueueFrontier(s.opts.Strategy, s.schedGuided, len(s.queueGoals))
+	s.front.picks = ck.FrontPicks
+	if s.opts.Strategy == StrategyESD {
+		if len(ck.AliveKeys) != len(roots) {
+			return fmt.Errorf("search: checkpoint has %d key rows for %d roots", len(ck.AliveKeys), len(roots))
+		}
+		if len(ck.Heaps) != len(s.front.heaps) {
+			return fmt.Errorf("search: checkpoint has %d heaps, frontier has %d", len(ck.Heaps), len(s.front.heaps))
+		}
+		for i, st := range roots {
+			fits := ck.AliveKeys[i]
+			if len(fits) != len(s.queueGoals) {
+				return fmt.Errorf("search: root %d has %d queue keys, want %d", i, len(fits), len(s.queueGoals))
+			}
+			keys := make([]esdKey, len(fits))
+			for q, fit := range fits {
+				keys[q] = esdKey{fit: fit, id: st.ID}
+			}
+			// Direct alive/heaps assembly (not insert): the heap contents
+			// below carry the lazy-deletion history insert would not
+			// recreate.
+			s.front.alive[st] = keys
+		}
+		for q, slots := range ck.Heaps {
+			for _, sl := range slots {
+				if sl.S < 0 || sl.S >= len(roots) {
+					return fmt.Errorf("search: heap %d references invalid root %d", q, sl.S)
+				}
+				st := roots[sl.S]
+				s.front.heaps[q].push(heapEntry{st: st, key: esdKey{fit: sl.F, id: st.ID}})
+			}
+		}
+		for _, ri := range ck.FIFO {
+			if ri < 0 || ri >= len(roots) {
+				return fmt.Errorf("search: fifo references invalid root %d", ri)
+			}
+			s.front.fifo = append(s.front.fifo, roots[ri])
+		}
+	} else {
+		// One shared tombstone stands in for every dead slot: the pool is
+		// compacted positionally and the tombstone is never in alive, so
+		// it replays a dead slot's behavior (one discarded draw) exactly.
+		tombstone := &symex.State{}
+		for _, st := range roots {
+			s.front.alive[st] = nil
+		}
+		for _, ri := range ck.PoolOrder {
+			switch {
+			case ri == poolTombstone:
+				s.front.pool = append(s.front.pool, tombstone)
+			case ri >= 0 && ri < len(roots):
+				s.front.pool = append(s.front.pool, roots[ri])
+			default:
+				return fmt.Errorf("search: pool references invalid root %d", ri)
+			}
+		}
+	}
+	return nil
+}
+
+// restoreResult seeds a resumed run's Result with the checkpoint's
+// cumulative accumulators.
+func (ck *Checkpoint) restoreResult(res *Result) {
+	res.Terminals = make(map[symex.StateStatus]int64, len(ck.Terminals))
+	for k, v := range ck.Terminals {
+		res.Terminals[k] = v
+	}
+	res.OtherBugs = append([]string(nil), ck.OtherBugs...)
+	res.StepErrors = ck.StepErrors
+	res.PrunedCritical = ck.PrunedCritical
+	res.PrunedInfinite = ck.PrunedInfinite
+}
+
+// flushDelta returns a copy of res with the checkpoint's share of the
+// counters removed, so a resumed segment flushes only its own work into
+// the process-wide telemetry registry (the preempted segments already
+// flushed theirs).
+func (ck *Checkpoint) flushDelta(res *Result) *Result {
+	d := *res
+	d.Steps -= ck.EngStats.Steps
+	d.StatesCreated -= ck.EngStats.States
+	d.Concretizations -= ck.EngStats.Concretizations
+	d.EpochChecks -= ck.EngStats.EpochChecks
+	d.BranchForks -= ck.EngStats.BranchForks
+	d.SchedForks -= ck.EngStats.SchedForks
+	d.EagerForks -= ck.PolEagerForks
+	d.SnapshotsTaken -= ck.PolSnapshotsTaken
+	d.SnapshotsActivated -= ck.PolSnapshotsActivated
+	d.AgingPicks -= ck.AgingPicks
+	d.PrunedCritical -= ck.PrunedCritical
+	d.PrunedInfinite -= ck.PrunedInfinite
+	d.Sheds -= ck.Sheds
+	d.Duration -= time.Duration(ck.ElapsedNS)
+	return &d
+}

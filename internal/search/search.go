@@ -173,6 +173,20 @@ type Options struct {
 	// variants; verdicts depend on the report's goals, so it must never
 	// cross requests.
 	PruneFacts *PruneFacts
+
+	// Preempt, when set, is polled at the top of every sequential
+	// run-loop iteration (never mid-quantum). Returning true stops the
+	// search and serializes it: the Result comes back with Preempted set
+	// and Checkpoint holding everything needed to continue later.
+	// Frontier-parallel runs ignore it (their interleaving is not
+	// replayable, so there is nothing deterministic to checkpoint).
+	Preempt func() bool
+	// Resume, when non-nil, continues a preempted search instead of
+	// starting fresh. The program, report goals, and every
+	// determinism-steering option must match the checkpointed run's;
+	// Budget may differ (it bounds wall clock, which is already outside
+	// the deterministic body). Requires Parallelism <= 1.
+	Resume *Checkpoint
 }
 
 // SolverPool hands out solvers for frontier-parallel workers. The engine
@@ -249,6 +263,14 @@ type Result struct {
 	// Cancelled reports that the context was cancelled mid-search (as
 	// opposed to the budget running out or the space being exhausted).
 	Cancelled bool
+	// Preempted reports that Options.Preempt stopped the search;
+	// Checkpoint then holds the serialized run and CheckpointNanos the
+	// wall time spent serializing it. All counters below are cumulative
+	// across a preempt/resume chain (a resumed Result reads as if the
+	// run had never stopped).
+	Preempted       bool
+	Checkpoint      *Checkpoint
+	CheckpointNanos int64
 
 	Duration      time.Duration
 	Steps         int64
@@ -318,12 +340,14 @@ type Result struct {
 	DedupDrops int64
 }
 
-// Outcome classifies the run for telemetry and reports: found | timeout |
-// cancelled | exhausted.
+// Outcome classifies the run for telemetry and reports: found | preempted
+// | timeout | cancelled | exhausted.
 func (r *Result) Outcome() string {
 	switch {
 	case r.Found != nil:
 		return "found"
+	case r.Preempted:
+		return "preempted"
 	case r.Cancelled:
 		return "cancelled"
 	case r.TimedOut:
@@ -367,16 +391,41 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		opts.Parallelism = 0
 	}
 	if opts.Parallelism > 0 {
+		if opts.Resume != nil {
+			return nil, fmt.Errorf("search: checkpoint resume requires a sequential search (Parallelism <= 1)")
+		}
+		// Frontier-parallel interleavings are not replayable, so there is
+		// no deterministic frontier to checkpoint: the run is simply not
+		// preemptible and executes to an ordinary outcome.
+		opts.Preempt = nil
 		return synthesizeParallel(ctx, prog, rep, opts)
 	}
 
+	resume := opts.Resume
+	if resume != nil {
+		if err := resume.compatible(prog, opts); err != nil {
+			return nil, err
+		}
+		// Restore the flight trace before any phase emission: the
+		// checkpointed trace already contains this run's analyze/search
+		// transitions, so a resumed segment re-emits none (the OnProgress
+		// stream, being wall-clock shaped, still gets fresh events).
+		opts.Recorder.Restore(resume.Recorder)
+	}
 	start := time.Now()
+	if resume != nil {
+		// Back-date the run start by the consumed budget so wall-clock
+		// budgeting and Duration are cumulative across the chain.
+		start = start.Add(-time.Duration(resume.ElapsedNS))
+	}
 	emit := func(ph Phase, live int) {
 		if opts.OnProgress != nil {
 			now := time.Now()
 			opts.OnProgress(ProgressEvent{Phase: ph, Time: now, Elapsed: now.Sub(start), Live: live})
 		}
-		opts.Recorder.Phase(ph.String(), 0, 0)
+		if resume == nil {
+			opts.Recorder.Phase(ph.String(), 0, 0)
+		}
 	}
 	emit(PhaseAnalyze, 0)
 
@@ -408,16 +457,46 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		Seed:                 opts.Seed,
 		Workers:              1,
 	}
-	init, err := eng.InitialState()
-	if err != nil {
-		return nil, err
-	}
-	emit(PhaseSearch, 1)
-	searchWorkers.Add(1)
-	found, timedOut, cancelled, err := s.run(init, res)
-	searchWorkers.Add(-1)
-	if err != nil {
-		return nil, err
+	var found *symex.State
+	var timedOut, cancelled, preempted bool
+	if resume != nil {
+		if err := resume.validatePlan(pl); err != nil {
+			return nil, err
+		}
+		roots, err := resume.Pool.Decode(prog)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.restore(resume, roots, detector); err != nil {
+			return nil, err
+		}
+		resume.restoreResult(res)
+		// Shift the solver baselines by the checkpointed consumption so
+		// the Result and progress events stay cumulative across the chain.
+		baseQueries -= resume.SolverQueries
+		baseHits -= resume.SolverHits
+		baseShared -= resume.SolverSharedHits
+		baseWall -= resume.SolverWallNS
+		s.solBase -= resume.SolverQueries
+		emit(PhaseSearch, s.front.size())
+		searchWorkers.Add(1)
+		found, timedOut, cancelled, preempted, err = s.runLoop(res)
+		searchWorkers.Add(-1)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		init, err := eng.InitialState()
+		if err != nil {
+			return nil, err
+		}
+		emit(PhaseSearch, 1)
+		searchWorkers.Add(1)
+		found, timedOut, cancelled, preempted, err = s.run(init, res)
+		searchWorkers.Add(-1)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Found = found
 	res.TimedOut = timedOut
@@ -445,6 +524,16 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		res.SnapshotsActivated = dp.SnapshotsActivated
 		res.EagerForks = dp.EagerForks
 	}
+	if preempted {
+		res.Preempted = true
+		ckStart := time.Now()
+		ck, err := s.buildCheckpoint(res, detector)
+		if err != nil {
+			return nil, err
+		}
+		res.Checkpoint = ck
+		res.CheckpointNanos = time.Since(ckStart).Nanoseconds()
+	}
 	if found != nil {
 		opts.Recorder.Record(telemetry.Event{
 			Kind:          telemetry.EventFound,
@@ -454,7 +543,13 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 			SolverQueries: int64(res.SolverQueries),
 		})
 	}
-	flushTelemetry(res)
+	if resume != nil {
+		// A resumed segment flushes only its own delta: the preempted
+		// segments before it already flushed theirs.
+		flushTelemetry(resume.flushDelta(res))
+	} else {
+		flushTelemetry(res)
+	}
 	return res, nil
 }
 
@@ -559,6 +654,10 @@ func (pl *plan) newVM(ctx context.Context, opts Options, sol *solver.Solver) (*s
 
 // newSearcher wires one searcher over the shared plan and a private VM.
 func newSearcher(pl *plan, ctx context.Context, opts Options, eng *symex.Engine, sol *solver.Solver, start time.Time) *searcher {
+	// The seed source is wrapped in a draw counter so a checkpoint can
+	// record the RNG position; the wrapper draws the identical sequence
+	// (see countingSource).
+	src := &countingSource{src: rand.NewSource(opts.Seed + 1)}
 	return &searcher{
 		opts:        opts,
 		ctx:         ctx,
@@ -572,7 +671,8 @@ func newSearcher(pl *plan, ctx context.Context, opts Options, eng *symex.Engine,
 		queueGoals:  pl.queueGoals,
 		finalStart:  pl.nInter,
 		finalGoals:  pl.goals,
-		rng:         rand.New(rand.NewSource(opts.Seed + 1)),
+		rng:         rand.New(src),
+		rngSrc:      src,
 		bestFit:     dist.Infinite,
 		start:       start,
 		solBase:     sol.Queries,
@@ -602,6 +702,8 @@ type searcher struct {
 	finalStart int
 	finalGoals []mir.Loc
 	rng        *rand.Rand
+	// rngSrc is rng's underlying draw-counting source (checkpointing).
+	rngSrc *countingSource
 
 	// Progress-stream bookkeeping: run start, last periodic emission,
 	// best (lowest) final-goal fitness scored, deepest path explored, and
@@ -660,26 +762,39 @@ func (s *searcher) sampleFrontier() {
 	})
 }
 
-// run drives the search to one of its outcomes: found, space exhausted,
-// timed out (budget or context deadline), cancelled, or a hard error (the
-// epoch guard tripping, which means the reclaim gate was violated).
-func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled bool, err error) {
+// run drives a fresh search to one of its outcomes: found, space
+// exhausted, timed out (budget or context deadline), cancelled, preempted
+// (Options.Preempt asked for a checkpoint), or a hard error (the epoch
+// guard tripping, which means the reclaim gate was violated).
+func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, timedOut, cancelled, preempted bool, err error) {
 	s.front = newQueueFrontier(s.opts.Strategy, s.schedGuided, len(s.queueGoals))
 	s.insert(init)
+	return s.runLoop(res)
+}
+
+// runLoop is the search loop proper, entered by run with a fresh frontier
+// or by the resume path with a restored one. Preemption is polled at the
+// loop top only — after the ctx/budget checks, before the progress and
+// sampling hooks — so a checkpoint never splits a quantum and the resumed
+// iteration replays the hooks exactly once.
+func (s *searcher) runLoop(res *Result) (found *symex.State, timedOut, cancelled, preempted bool, err error) {
 	for s.front.size() > 0 {
 		now := time.Now()
 		if err := s.ctx.Err(); err != nil {
 			timedOut, cancelled = classifyCtxErr(err)
-			return nil, timedOut, cancelled, nil
+			return nil, timedOut, cancelled, false, nil
 		}
 		if s.budgetExceeded(now) {
-			return nil, true, false, nil
+			return nil, true, false, false, nil
+		}
+		if s.opts.Preempt != nil && s.opts.Preempt() {
+			return nil, false, false, true, nil
 		}
 		s.maybeProgress(now)
 		s.sampleFrontier()
 		st, aged := s.front.pick(s.rng)
 		if st == nil {
-			return nil, false, false, nil
+			return nil, false, false, false, nil
 		}
 		if aged {
 			s.agingPicks++
@@ -689,21 +804,21 @@ func (s *searcher) run(init *symex.State, res *Result) (found *symex.State, time
 			if errors.Is(err, symex.ErrEpochChanged) {
 				// Not a scheduling outcome: the interner was swept under
 				// this live run, every held term is suspect. Surface it.
-				return nil, false, false, err
+				return nil, false, false, false, err
 			}
 			// The VM observed the context mid-quantum (the prompt-
 			// cancellation path for long quanta and solver-heavy steps).
 			timedOut, cancelled = classifyCtxErr(s.ctx.Err())
-			return nil, timedOut, cancelled, nil
+			return nil, timedOut, cancelled, false, nil
 		}
 		if found != nil {
-			return found, false, false, nil
+			return found, false, false, false, nil
 		}
 		if s.front.size() > s.opts.MaxStates {
 			s.shedStates()
 		}
 	}
-	return nil, false, false, nil
+	return nil, false, false, false, nil
 }
 
 // classifyCtxErr maps a context error onto the result flags: deadlines are

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; wall-time
+// sensitive tests (sliced multi-second syntheses) skip under its ~10x
+// slowdown.
+const raceEnabled = true

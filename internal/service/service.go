@@ -15,15 +15,34 @@
 //	                    (or the request Accepts text/event-stream)
 //	POST /batch      {"program_id" | ..., "reports": [{...}, ...], ...}
 //	                 -> {"results": [...]} (streaming is rejected with 400)
+//	POST /jobs       same body as /synthesize (minus "stream")
+//	                 -> 202 {"id": "...", "state": "queued", ...}
+//	GET  /jobs       -> {"jobs": [...]} (oldest first)
+//	GET  /jobs/{id}  -> job record (state, counters, result when done)
+//	GET  /jobs/{id}/events -> SSE stream of "job" events, one per state
+//	                    transition, closing after a terminal one
+//	DELETE /jobs/{id} -> cancel (if live) and remove the record
 //	POST /reclaim    -> force one interner epoch sweep (409 while busy)
 //	GET  /healthz    -> {"status": "ok", "uptime_ms", "capacity", "active",
 //	                     "compile_cache_hits", "batch_queue_depth",
+//	                     "jobs": {"queued": N, "running": N, ...},
 //	                     "engine": {...}, "interner": {... epoch, sweeps,
 //	                     bytes_reclaimed}}
 //	GET  /metrics    -> Prometheus text exposition: the process-wide
 //	                    telemetry registry (search, VM, solver, dist,
-//	                    interner series) plus esd_engine_*/esd_service_*
-//	                    series rendered from this server's engine
+//	                    interner, esd_jobs_* series) plus
+//	                    esd_engine_*/esd_service_* series rendered from
+//	                    this server's engine
+//
+// Every synthesis runs as a job on the durable job subsystem
+// (internal/jobs): /jobs is the asynchronous face (submit, poll, stream,
+// cancel), and /synthesize and /batch are thin synchronous wrappers that
+// submit, wait, and clean up after themselves. Jobs are time-sliced —
+// a job still running after the configured slice is preempted into a
+// persisted search checkpoint and requeued behind waiting work — and,
+// with a file-backed store (Config.JobStore), survive process restarts:
+// on startup, queued and checkpointed jobs re-enter the run queue and
+// resume from their last checkpoint with byte-identical results.
 //
 // Synthesis and batch requests are admission-controlled by a concurrency
 // limit (429 + Retry-After when saturated) and budget-capped per request.
@@ -33,6 +52,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +64,7 @@ import (
 	"esd"
 	"esd/internal/apps"
 	"esd/internal/expr"
+	"esd/internal/jobs"
 	"esd/internal/report"
 	"esd/internal/telemetry"
 )
@@ -67,6 +88,18 @@ type Config struct {
 	// admission slot consumes, so the server bounds it independently of
 	// MaxConcurrent (default 8).
 	MaxParallelism int
+	// JobStore persists job records; nil means in-memory (jobs are lost
+	// on restart). esdserve passes a file-backed store (-data-dir) so
+	// accepted jobs survive crashes and restarts.
+	JobStore jobs.Store
+	// JobSlice is the job scheduler's preemption time slice: a job still
+	// searching after this long is parked as a search checkpoint and
+	// requeued behind waiting work (default 2s; negative disables
+	// preemption).
+	JobSlice time.Duration
+	// JobWorkers bounds concurrently running job slices (default
+	// MaxConcurrent).
+	JobWorkers int
 }
 
 // maxTrackedPrograms bounds the /compile id → program map (see the
@@ -94,8 +127,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxParallelism == 0 {
 		c.MaxParallelism = 8
 	}
+	if c.JobStore == nil {
+		c.JobStore = jobs.NewMemStore()
+	}
+	switch {
+	case c.JobSlice == 0:
+		c.JobSlice = 2 * time.Second
+	case c.JobSlice < 0:
+		c.JobSlice = 0 // preemption disabled
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = c.MaxConcurrent
+	}
 	return c
 }
+
+// maxTrackedJobs bounds the job store: submissions beyond it are refused
+// until clients DELETE finished jobs (synchronous /synthesize and /batch
+// wrappers clean up after themselves and never accumulate).
+const maxTrackedJobs = 1024
 
 // Server is the HTTP front-end over one Engine.
 type Server struct {
@@ -104,12 +154,14 @@ type Server struct {
 	sem   chan struct{}
 	start time.Time
 	mux   *http.ServeMux
+	jobs  *jobs.Manager
 
 	mu       sync.Mutex
 	programs map[string]*esd.Program // ID -> compiled program
 }
 
-// New builds a Server over eng.
+// New builds a Server over eng, recovering any persisted jobs from
+// cfg.JobStore and starting the job worker pool.
 func New(eng *esd.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -120,9 +172,26 @@ func New(eng *esd.Engine, cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		programs: map[string]*esd.Program{},
 	}
+	mgr, err := jobs.NewManager(jobs.Config{
+		Store:   cfg.JobStore,
+		Run:     s.runJob,
+		Workers: cfg.JobWorkers,
+		Slice:   cfg.JobSlice,
+	})
+	if err != nil {
+		// Unreachable: store and runner are always set, and neither store
+		// implementation fails List after a successful open.
+		panic(err)
+	}
+	s.jobs = mgr
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("POST /batch", s.handleBatch)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("POST /reclaim", s.handleReclaim)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -131,6 +200,11 @@ func New(eng *esd.Engine, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts the job scheduler down gracefully: running slices are
+// preempted into persisted checkpoints, queued work stays queued, and —
+// with a durable store — all of it resumes on the next start.
+func (s *Server) Close(ctx context.Context) error { return s.jobs.Close(ctx) }
 
 // --- request/response shapes -------------------------------------------------
 
@@ -365,6 +439,238 @@ func (s *Server) options(req *synthesizeRequest) ([]esd.SynthOption, error) {
 	return opts, nil
 }
 
+// --- the job runner ---------------------------------------------------------
+
+// runJob executes one time slice of a job for the jobs.Manager: resolve
+// the stored wire request, resume from the job's checkpoint if it has
+// one, search until done or preempted, and report the outcome. It runs on
+// a manager worker goroutine with the same pin discipline as the inline
+// handlers.
+func (s *Server) runJob(ctx context.Context, j *jobs.Job, preempt func() bool) (*jobs.Outcome, error) {
+	var req synthesizeRequest
+	if err := json.Unmarshal(j.Request, &req); err != nil {
+		return nil, fmt.Errorf("decoding job request: %w", err)
+	}
+	defer s.eng.MaybeReclaim()
+	release := expr.Pin()
+	prog, rep, err := s.resolve(&req)
+	release()
+	if err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, errors.New("missing report")
+	}
+	opts, err := s.options(&req)
+	if err != nil {
+		return nil, err
+	}
+	if len(j.Checkpoint) > 0 {
+		ck, err := esd.DecodeCheckpoint(j.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("decoding persisted checkpoint: %w", err)
+		}
+		opts = append(opts, esd.WithResume(ck))
+	}
+	opts = append(opts, esd.WithPreempt(preempt))
+
+	res, err := s.eng.Synthesize(ctx, prog, rep, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := &jobs.Outcome{
+		SolverWallNS:  res.Stats.SolverWallNanos,
+		InternerBytes: res.Stats.Interner.Bytes,
+	}
+	switch {
+	case res.Preempted:
+		out.Preempted = true
+		out.Checkpoint = res.Checkpoint
+		out.CheckpointNS = res.CheckpointNanos
+	case res.Cancelled && ctx.Err() != nil:
+		// The job was withdrawn mid-slice; a Cancelled result produced by
+		// the caller's own deadline machinery (ctx still live) is a real
+		// outcome and falls through to the result payload below.
+		out.Cancelled = true
+	default:
+		data, err := json.Marshal(toResultJSON(res))
+		if err != nil {
+			return nil, fmt.Errorf("encoding result: %w", err)
+		}
+		out.Result = data
+	}
+	return out, nil
+}
+
+// --- the jobs API -----------------------------------------------------------
+
+// jobJSON is the wire shape of a job record. The checkpoint blob itself
+// stays server-side (it is an internal serialization, and can be large);
+// its size and cost are reported instead.
+type jobJSON struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Result is the synthesis result of a done job — the same shape
+	// /synthesize answers with.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+
+	CreatedUnixMS int64 `json:"created_unix_ms"`
+	UpdatedUnixMS int64 `json:"updated_unix_ms"`
+
+	Resumes         int   `json:"resumes,omitempty"`
+	Preemptions     int   `json:"preemptions,omitempty"`
+	CheckpointBytes int   `json:"checkpoint_bytes,omitempty"`
+	CheckpointMS    int64 `json:"checkpoint_ms,omitempty"`
+	// PeakInternerBytes and SolverWallMS are the per-job resource record:
+	// the largest interner footprint seen at any slice boundary and the
+	// cumulative solver wall-clock across all slices.
+	PeakInternerBytes int64 `json:"peak_interner_bytes,omitempty"`
+	SolverWallMS      int64 `json:"solver_wall_ms,omitempty"`
+}
+
+func toJobJSON(j *jobs.Job) jobJSON {
+	return jobJSON{
+		ID:                j.ID,
+		State:             string(j.State),
+		Result:            j.Result,
+		Error:             j.Error,
+		CreatedUnixMS:     j.CreatedUnixMS,
+		UpdatedUnixMS:     j.UpdatedUnixMS,
+		Resumes:           j.Resumes,
+		Preemptions:       j.Preemptions,
+		CheckpointBytes:   j.CheckpointBytes,
+		CheckpointMS:      j.CheckpointNS / 1e6,
+		PeakInternerBytes: j.PeakInternerBytes,
+		SolverWallMS:      j.SolverWallNS / 1e6,
+	}
+}
+
+// submitJob validates a wire request and hands it to the job manager.
+// Validation runs up front so a bad request fails at submission with a
+// 4xx instead of surfacing later as a failed job.
+func (s *Server) submitJob(w http.ResponseWriter, req *synthesizeRequest) (*jobs.Job, bool) {
+	defer s.eng.MaybeReclaim()
+	release := expr.Pin()
+	_, rep, err := s.resolve(req)
+	release()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	if rep == nil {
+		httpError(w, http.StatusBadRequest, "missing report")
+		return nil, false
+	}
+	if _, err := s.options(req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	if len(s.jobs.List()) >= maxTrackedJobs {
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusTooManyRequests, "job store is full (%d records); DELETE finished jobs", maxTrackedJobs)
+		return nil, false
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
+		return nil, false
+	}
+	job, err := s.jobs.Submit(raw)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req synthesizeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return
+	}
+	if req.Stream {
+		httpError(w, http.StatusBadRequest, "stream is not supported on /jobs; GET /jobs/{id}/events streams state transitions")
+		return
+	}
+	job, ok := s.submitJob(w, &req)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, toJobJSON(job))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Jobs []jobJSON `json:"jobs"`
+	}{Jobs: []jobJSON{}}
+	for _, j := range s.jobs.List() {
+		out.Jobs = append(out.Jobs, toJobJSON(j))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %s", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(j))
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.Get(id); !ok {
+		httpError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	if err := s.jobs.Delete(id); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
+}
+
+// handleJobEvents streams the job's state transitions as SSE "job"
+// events: the current record first, then one event per transition, the
+// stream ending after a terminal state.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	ch, stop, err := s.jobs.Subscribe(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer stop()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		select {
+		case j, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(toJobJSON(j))
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: job\ndata: %s\n\n", data)
+			fl.Flush()
+			if j.State.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // acquireN admits up to want synthesis slots without blocking, returning
 // how many it got (0 → the caller answers 429). Batches charge one slot
 // per worker so MaxConcurrent really bounds simultaneously running
@@ -436,12 +742,38 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 
 	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if !stream {
-		res, err := s.eng.Synthesize(r.Context(), prog, rep, opts...)
+		// The synchronous path is a thin wrapper over the job subsystem:
+		// submit, wait, clean up. The request holds its admission slot for
+		// the whole wait, so the 429 contract is unchanged; the job itself
+		// is time-sliced like any other, so one slow synthesis cannot
+		// starve the asynchronous queue.
+		raw, err := json.Marshal(&req)
 		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
+			return
+		}
+		job, err := s.jobs.Submit(raw)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		final, err := s.jobs.Wait(r.Context(), job.ID)
+		if err != nil {
+			// The client went away (or the server is shutting down):
+			// withdraw the job — nobody is left to read its result.
+			s.jobs.Delete(job.ID)
 			httpError(w, http.StatusInternalServerError, "synthesize: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, toResultJSON(res))
+		s.jobs.Delete(job.ID)
+		switch final.State {
+		case jobs.StateDone:
+			writeJSON(w, http.StatusOK, json.RawMessage(final.Result))
+		case jobs.StateFailed:
+			httpError(w, http.StatusInternalServerError, "synthesize: %s", final.Error)
+		default:
+			httpError(w, http.StatusInternalServerError, "synthesize: job %s", final.State)
+		}
 		return
 	}
 
@@ -497,34 +829,44 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.eng.MaybeReclaim()
 	release := expr.Pin()
 	defer release()
-	prog, appRep, err := s.resolve(&req.synthesizeRequest)
+	_, appRep, err := s.resolve(&req.synthesizeRequest)
 	release()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var reports []*esd.BugReport
 	for i, raw := range req.Reports {
-		rr, err := report.Decode(raw)
-		if err != nil {
+		if _, err := report.Decode(raw); err != nil {
 			httpError(w, http.StatusBadRequest, "report %d: %v", i, err)
 			return
 		}
-		reports = append(reports, &esd.BugReport{R: rr})
 	}
-	if len(reports) == 0 && appRep != nil {
-		reports = []*esd.BugReport{appRep}
-	}
-	if len(reports) == 0 {
+	if len(req.Reports) == 0 && appRep == nil {
 		httpError(w, http.StatusBadRequest, "missing reports")
 		return
 	}
-	opts, err := s.options(&req.synthesizeRequest)
-	if err != nil {
+	if _, err := s.options(&req.synthesizeRequest); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	want := len(reports)
+
+	// One job per report. The batch is a thin wrapper over the job
+	// subsystem: the handler's admission slots bound how much of the
+	// service this request may claim (429 contract unchanged), while the
+	// job workers do the actual syntheses, time-sliced against everything
+	// else in the queue.
+	jobReqs := make([]synthesizeRequest, 0, len(req.Reports))
+	if len(req.Reports) > 0 {
+		for _, raw := range req.Reports {
+			jr := req.synthesizeRequest
+			jr.Report = raw
+			jobReqs = append(jobReqs, jr)
+		}
+	} else {
+		// App-derived single report: the per-job request re-resolves it.
+		jobReqs = append(jobReqs, req.synthesizeRequest)
+	}
+	want := len(jobReqs)
 	if want > s.cfg.MaxConcurrent {
 		want = s.cfg.MaxConcurrent
 	}
@@ -533,19 +875,54 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseN(workers)
-	opts = append(opts, esd.WithBatchWorkers(workers))
 
-	results, err := s.eng.SynthesizeBatch(r.Context(), prog, reports, opts...)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "batch: %v", err)
-		return
+	ids := make([]string, len(jobReqs))
+	cleanup := func() {
+		for _, id := range ids {
+			if id != "" {
+				s.jobs.Delete(id)
+			}
+		}
+	}
+	for i := range jobReqs {
+		raw, err := json.Marshal(&jobReqs[i])
+		if err != nil {
+			cleanup()
+			httpError(w, http.StatusInternalServerError, "encoding request: %v", err)
+			return
+		}
+		job, err := s.jobs.Submit(raw)
+		if err != nil {
+			cleanup()
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		ids[i] = job.ID
 	}
 	out := struct {
 		Results []resultJSON `json:"results"`
-	}{}
-	for _, res := range results {
-		out.Results = append(out.Results, toResultJSON(res))
+	}{Results: make([]resultJSON, 0, len(ids))}
+	for _, id := range ids {
+		final, err := s.jobs.Wait(r.Context(), id)
+		if err != nil {
+			cleanup()
+			httpError(w, http.StatusInternalServerError, "batch: %v", err)
+			return
+		}
+		var res resultJSON
+		switch final.State {
+		case jobs.StateDone:
+			if err := json.Unmarshal(final.Result, &res); err != nil {
+				res = resultJSON{Error: fmt.Sprintf("decoding job result: %v", err)}
+			}
+		case jobs.StateFailed:
+			res = resultJSON{Error: final.Error}
+		default:
+			res = resultJSON{Cancelled: true, Error: fmt.Sprintf("job %s", final.State)}
+		}
+		out.Results = append(out.Results, res)
 	}
+	cleanup()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -576,6 +953,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"batch_queue_depth":  st.BatchQueueDepth,
 		"engine":             st,
 		"interner":           expr.InternerStats(),
+		"jobs":               s.jobs.Depths(),
 	})
 }
 
@@ -611,6 +989,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, m := range series {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+
+	// Job-store depth by state. Rendered here (not registered globally) for
+	// the same reason as the engine series: the registry is process-wide,
+	// but each server has its own job manager.
+	depths := s.jobs.Depths()
+	fmt.Fprintf(w, "# HELP esd_jobs_state Jobs currently in each lifecycle state.\n# TYPE esd_jobs_state gauge\n")
+	for _, st := range jobs.States {
+		fmt.Fprintf(w, "esd_jobs_state{state=%q} %d\n", st, depths[st])
 	}
 }
 

@@ -113,6 +113,42 @@ func (r *Recorder) Dropped() int {
 	return r.dropped
 }
 
+// RecorderState is a Recorder's serializable snapshot, captured when a
+// search is checkpointed and restored on resume so the resumed run's trace
+// is byte-identical to an uninterrupted run's (same events, same sequence
+// numbers, same drop count).
+type RecorderState struct {
+	Cap     int     `json:"cap"`
+	Events  []Event `json:"events,omitempty"` // oldest first
+	Seq     int     `json:"seq"`
+	Dropped int     `json:"dropped"`
+}
+
+// Snapshot captures the recorder's current contents (nil receiver → nil).
+func (r *Recorder) Snapshot() *RecorderState {
+	if r == nil {
+		return nil
+	}
+	return &RecorderState{Cap: r.cap, Events: r.Events(), Seq: r.seq, Dropped: r.dropped}
+}
+
+// Restore overwrites the recorder's contents with a snapshot. The ring is
+// normalized (oldest event at index 0), which is invisible to Record and
+// Events: eviction order and sequence numbering continue exactly as they
+// would have in the snapshotted recorder.
+func (r *Recorder) Restore(st *RecorderState) {
+	if r == nil || st == nil {
+		return
+	}
+	if st.Cap > 0 {
+		r.cap = st.Cap
+	}
+	r.events = append([]Event(nil), st.Events...)
+	r.start = 0
+	r.seq = st.Seq
+	r.dropped = st.Dropped
+}
+
 // SolverStats is the solver's share of a synthesis (deterministic parts).
 type SolverStats struct {
 	// Queries counts satisfiability queries issued by this run.
@@ -140,6 +176,15 @@ type WallStats struct {
 	// from the request's shared cross-worker fact cache (warmth-dependent
 	// like cache hits, hence wall-section only).
 	SolverSharedHits int64 `json:"solver_shared_hits,omitempty"`
+	// PortfolioRequested/PortfolioEffective record a portfolio race's
+	// admission decision: the k the caller asked for and the k that
+	// actually raced after clamping to the cores available alongside the
+	// run's frontier workers. They live in the Wall section (not the
+	// deterministic body) because effective k depends on the host's
+	// GOMAXPROCS — and because a portfolio winner's deterministic report
+	// must stay byte-identical to its own single-seed replay.
+	PortfolioRequested int `json:"portfolio_requested,omitempty"`
+	PortfolioEffective int `json:"portfolio_effective,omitempty"`
 	// Workers attributes wall time and work per frontier-parallel worker
 	// (absent for sequential runs). Everything here depends on the OS
 	// scheduler's interleaving, which is why the rows live in the
