@@ -1,0 +1,142 @@
+package esd_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"esd"
+)
+
+// The persistent-cache bench harness: for each app, one cold synthesis
+// against an empty -cache-dir and one warm synthesis against the store
+// the cold run just wrote — on a fresh engine, so no in-memory tier
+// (pooled solvers, request caches) carries over and the disk store is
+// the only warmth, as across a process restart. Emitted as
+// BENCH_persistent.json; gated on an env var because each cell is a
+// full synthesis:
+//
+//	ESD_BENCH_PERSISTENT=BENCH_persistent.json go test -run TestBenchPersistent -timeout 30m .
+//
+// ESD_BENCH_PERSISTENT_APPS overrides the app list (default ls4 — the
+// solver-bound app where re-solving dominates). The harness is also the
+// warm-replay gate: the warm run must take persistent hits, reject none
+// of its own store's models, spend no more solver wall than the cold
+// run (plus noise slack), and synthesize a byte-identical execution.
+
+// benchPersistRow is one BENCH_persistent.json record.
+type benchPersistRow struct {
+	App  string `json:"app"`
+	Mode string `json:"mode"` // cold | warm
+	// WallNS is end-to-end synthesis wall; SolverWallNS is the share
+	// inside solver.Check. The warm win shows up in SolverWallNS first.
+	WallNS       int64 `json:"wall_ns"`
+	SolverWallNS int64 `json:"solver_wall_ns,omitempty"`
+	Steps        int64 `json:"steps"`
+	Found        bool  `json:"found"`
+	// PersistentHits counts component verdicts served from the on-disk
+	// store; VerifyRejects counts stored models that failed live
+	// re-verification (0 expected against a store the cold run wrote).
+	PersistentHits int `json:"persistent_hits,omitempty"`
+	VerifyRejects  int `json:"verify_rejects,omitempty"`
+	// SpeedupVsCold is the same app's cold wall over this warm wall.
+	SpeedupVsCold float64 `json:"speedup_vs_cold,omitempty"`
+}
+
+// persistSolverSlack is the warm-replay gate's tolerance on solver wall:
+// warm solver time must stay under cold × slack + 100ms. Persistent hits
+// replace solves with a lookup plus one model evaluation, so warm solver
+// wall should drop outright; the slack only absorbs timer noise on apps
+// whose solver share is already milliseconds.
+const persistSolverSlack = 1.10
+
+func TestBenchPersistent(t *testing.T) {
+	out := os.Getenv("ESD_BENCH_PERSISTENT")
+	if out == "" {
+		t.Skip("set ESD_BENCH_PERSISTENT=<output path> to run the persistent-cache bench harness")
+	}
+	appList := "ls4"
+	if v := os.Getenv("ESD_BENCH_PERSISTENT_APPS"); v != "" {
+		appList = v
+	}
+
+	var rows []benchPersistRow
+	for _, name := range strings.Split(appList, ",") {
+		name = strings.TrimSpace(name)
+		prog, rep := appProgReport(t, name)
+		dir := t.TempDir()
+
+		var coldWall, coldSolver int64
+		var coldExec []byte
+		for _, mode := range []string{"cold", "warm"} {
+			eng := esd.New(esd.WithPersistentCache(dir))
+			if err := eng.PersistentCacheError(); err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			res, err := eng.Synthesize(context.Background(), prog, rep,
+				esd.WithBudget(5*time.Minute), esd.WithSeed(1), esd.WithTelemetry())
+			wall := time.Since(start).Nanoseconds()
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mode, err)
+			}
+			if err := eng.Close(); err != nil {
+				t.Fatalf("%s %s: closing store: %v", name, mode, err)
+			}
+			row := benchPersistRow{
+				App: name, Mode: mode,
+				WallNS: wall, Steps: res.Stats.Steps, Found: res.Found,
+				PersistentHits: res.Stats.SolverPersistentHits,
+				VerifyRejects:  res.Stats.SolverVerifyRejects,
+			}
+			if fr := res.Report(); fr != nil && fr.Wall != nil {
+				row.SolverWallNS = fr.Wall.SolverNS
+			}
+			exec := []byte(nil)
+			if res.Found {
+				if exec, err = res.Execution.JSON(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if mode == "cold" {
+				coldWall, coldSolver, coldExec = wall, row.SolverWallNS, exec
+			} else {
+				if coldWall > 0 {
+					row.SpeedupVsCold = float64(coldWall) / float64(wall)
+				}
+				// The warm-replay gate.
+				if row.PersistentHits == 0 {
+					t.Errorf("%s warm run took no persistent hits", name)
+				}
+				if row.VerifyRejects > 0 {
+					t.Errorf("%s warm run rejected %d of its own store's models", name, row.VerifyRejects)
+				}
+				if !bytes.Equal(coldExec, exec) {
+					t.Errorf("%s synthesized executions differ cold vs warm", name)
+				}
+				limit := int64(float64(coldSolver)*persistSolverSlack) + int64(100*time.Millisecond)
+				if row.SolverWallNS > limit {
+					t.Errorf("%s warm solver wall %.2fs exceeds cold %.2fs (limit %.2fs)",
+						name, float64(row.SolverWallNS)/1e9, float64(coldSolver)/1e9, float64(limit)/1e9)
+				}
+			}
+			rows = append(rows, row)
+			t.Logf("%-10s %-4s wall=%.2fs solver=%.2fs steps=%d found=%v phits=%d rejects=%d speedup=%.2f",
+				name, mode, float64(wall)/1e9, float64(row.SolverWallNS)/1e9,
+				res.Stats.Steps, res.Found, row.PersistentHits, row.VerifyRejects, row.SpeedupVsCold)
+		}
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows)", out, len(rows))
+}

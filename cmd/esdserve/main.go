@@ -6,6 +6,7 @@
 //	esdserve -addr :8080 [-max-concurrent 4] [-max-parallelism 8]
 //	         [-default-budget 60s] [-max-budget 10m]
 //	         [-data-dir /var/lib/esd] [-job-slice 2s]
+//	         [-cache-dir /var/cache/esd]
 //	         [-interner-high-water 268435456] [-debug-addr localhost:6060]
 //
 // Endpoints (see internal/service for the full wire contract):
@@ -26,6 +27,13 @@
 // -data-dir makes the job store durable (WAL + snapshot in that
 // directory): accepted jobs survive a crash or restart, resuming from
 // their last persisted search checkpoint. Without it jobs live in memory.
+//
+// -cache-dir adds the persistent cross-run solver-cache tier: definite
+// component verdicts (keyed by canonical structural fingerprints, so
+// they survive restarts and interner sweeps) are written there and
+// consulted by every later synthesis of the same program, including
+// after a server restart. Safe to share with past or future runs — Sat
+// models are re-verified against live terms before a hit is served.
 // -job-slice is the scheduler quantum: a synthesis running longer is
 // preempted into a checkpoint and requeued, so long jobs round-robin
 // instead of monopolizing workers (0 disables slicing).
@@ -67,6 +75,7 @@ func main() {
 		debugAddr = flag.String("debug-addr", "",
 			"listen address for the pprof debug server (e.g. localhost:6060; empty disables)")
 		dataDir  = flag.String("data-dir", "", "directory for the durable job store (empty = in-memory jobs)")
+		cacheDir = flag.String("cache-dir", "", "directory for the persistent cross-run solver cache (empty = in-memory caching only)")
 		jobSlice = flag.Duration("job-slice", 2*time.Second, "scheduler quantum before a running job is checkpointed and requeued (0 disables)")
 	)
 	flag.Parse()
@@ -88,11 +97,21 @@ func main() {
 		log.Printf("esdserve: durable job store in %s", *dataDir)
 	}
 
-	eng := esd.New(
+	engOpts := []esd.Option{
 		esd.WithDefaultBudget(*defaultBudget),
 		esd.WithMaxConcurrent(*maxConcurrent),
 		esd.WithInternerHighWater(*highWater),
-	)
+	}
+	if *cacheDir != "" {
+		engOpts = append(engOpts, esd.WithPersistentCache(*cacheDir))
+	}
+	eng := esd.New(engOpts...)
+	if err := eng.PersistentCacheError(); err != nil {
+		// Degraded, not fatal: the engine runs with in-memory caching only.
+		log.Printf("esdserve: persistent solver cache: %v", err)
+	} else if *cacheDir != "" {
+		log.Printf("esdserve: persistent solver cache in %s", *cacheDir)
+	}
 	srv := service.New(eng, service.Config{
 		DefaultBudget:  *defaultBudget,
 		MaxBudget:      *maxBudget,
@@ -141,5 +160,10 @@ func main() {
 	defer cancel()
 	if err := srv.Close(closeCtx); err != nil {
 		log.Printf("esdserve: job shutdown: %v", err)
+	}
+	// Compact the persistent solver cache after the job workers park, so
+	// verdicts published by their final slices land in the snapshot.
+	if err := eng.Close(); err != nil {
+		log.Printf("esdserve: solver cache shutdown: %v", err)
 	}
 }

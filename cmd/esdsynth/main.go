@@ -10,9 +10,21 @@
 //	                                        # instead of cancelling
 //	esdsynth -app ls4 -resume ck.json -job ck.json   # continue a checkpointed
 //	                                                 # search (repeatable)
+//	esdsynth -app ls4 -cache-dir ~/.cache/esd        # warm cross-run solver cache
 //
 // It reads the coredump, synthesizes an execution that reproduces the
 // reported bug, and writes the synthesized execution file for esdplay.
+//
+// -cache-dir persists definite solver verdicts across runs: a second run
+// of the same app against the same directory serves those components
+// from disk instead of re-solving them. Warm runs obey the same
+// determinism contract as cold ones — the synthesized execution, seed
+// replay, and flight report's deterministic body are byte-identical
+// whether the cache was cold or warm; only wall-clock time (and the
+// cache-hit counters printed after the run) differ. Stored models are
+// re-verified against the live constraints before use, so a stale or
+// foreign cache directory can slow a run down but never change its
+// result.
 //
 // A -job search interrupted with Ctrl-C is preempted at a deterministic
 // point and serialized to the checkpoint file; resuming it (possibly in a
@@ -59,6 +71,7 @@ func main() {
 		metrics  = flag.String("metrics", "", "write the telemetry registry (Prometheus text) to this file after the run")
 		jobFile  = flag.String("job", "", "checkpoint file: Ctrl-C preempts the search into it (resume with -resume) instead of cancelling; incompatible with -parallel and -portfolio")
 		resume   = flag.String("resume", "", "resume the search from this checkpoint file (written by an earlier -job run)")
+		cacheDir = flag.String("cache-dir", "", "persistent cross-run solver cache directory (verdicts survive process restarts; results stay identical to a cold run)")
 	)
 	flag.Parse()
 	if (*jobFile != "" || *resume != "") && (*parallel > 1 || *portf > 1) {
@@ -102,7 +115,15 @@ func main() {
 	fmt.Printf("esdsynth: synthesizing %s bug (%s strategy, %s budget)\n", rep.R.Kind, strat, timeout)
 	fmt.Print(rep.String())
 
-	eng := esd.New()
+	var engOpts []esd.Option
+	if *cacheDir != "" {
+		engOpts = append(engOpts, esd.WithPersistentCache(*cacheDir))
+	}
+	eng := esd.New(engOpts...)
+	if err := eng.PersistentCacheError(); err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
 	synthOpts := []esd.SynthOption{
 		esd.WithStrategy(strat),
 		esd.WithBudget(*timeout),
@@ -195,6 +216,10 @@ func main() {
 	}
 	fmt.Printf("search: %.2fs, %d instructions, %d states, %d solver queries\n",
 		res.Stats.Duration.Seconds(), res.Stats.Steps, res.Stats.States, res.Stats.SolverQueries)
+	if *cacheDir != "" {
+		fmt.Printf("persistent cache: %d hits, %d verify rejects\n",
+			res.Stats.SolverPersistentHits, res.Stats.SolverVerifyRejects)
+	}
 	if *portf > 1 && res.Found {
 		fmt.Printf("portfolio winner: seed %d (replay with -seed %d and no -portfolio)\n", res.Seed, res.Seed)
 	}

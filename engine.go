@@ -13,6 +13,7 @@ import (
 
 	"esd/internal/dist"
 	"esd/internal/expr"
+	"esd/internal/pcache"
 	"esd/internal/search"
 	"esd/internal/solver"
 	"esd/internal/telemetry"
@@ -42,10 +43,19 @@ type Engine struct {
 	internerHighWater int64
 
 	// solvers pools warm solvers: a solver's memoized query cache is
-	// keyed by globally interned term identity, so reusing one across
-	// requests (even for different programs) only adds hits. Solvers are
-	// single-threaded, so concurrent syntheses each take their own.
+	// keyed by canonical structural term fingerprints, so reusing one
+	// across requests (even for different programs) only adds hits.
+	// Solvers are single-threaded, so concurrent syntheses each take
+	// their own.
 	solvers sync.Pool
+
+	// pcache is the persistent cross-run solver-fact store
+	// (WithPersistentCache); nil when no cache directory is configured.
+	// pcacheErr records a failed open — the engine then runs without the
+	// persistent tier rather than failing construction, and surfaces the
+	// error via PersistentCacheError.
+	pcache    *pcache.Store
+	pcacheErr error
 
 	mu       sync.Mutex
 	programs map[string]*Program // Compile cache, keyed by source hash
@@ -113,6 +123,46 @@ func WithInternerHighWater(bytes int64) Option {
 		}
 		e.internerHighWater = bytes
 	}
+}
+
+// WithPersistentCache opens (creating if needed) a persistent cross-run
+// solver-fact store in dir and attaches it as the engine's outermost
+// cache tier: every synthesis consults it (scoped to the program's
+// structural fingerprint) when the private and request-shared tiers
+// miss, and publishes every definite component verdict back. Because
+// entries are keyed by canonical structural fingerprints — not process-
+// local intern identities — a verdict written by one process is a hit
+// in the next, across restarts and epoch sweeps.
+//
+// Correctness does not depend on the directory's contents: Sat models
+// are re-verified by concrete evaluation against the live terms before
+// a hit is served, and the store discards entries written under a
+// different structural-key version at open. Warm runs are therefore
+// bit-identical to cold runs (the determinism contract); only wall
+// clock changes. If the store cannot be opened, the engine runs without
+// the persistent tier and PersistentCacheError reports why. Call Close
+// at shutdown to compact the store.
+func WithPersistentCache(dir string) Option {
+	return func(e *Engine) {
+		e.pcache, e.pcacheErr = pcache.Open(dir)
+	}
+}
+
+// PersistentCacheError reports why WithPersistentCache's store failed to
+// open (nil when it opened, or was never configured). The engine
+// degrades to in-memory caching on failure rather than refusing to
+// start; services surface this from their health endpoint.
+func (e *Engine) PersistentCacheError() error { return e.pcacheErr }
+
+// Close flushes and closes the engine's persistent cache store, if any.
+// The engine remains usable for synthesis afterwards — lookups keep
+// answering from memory and publishes are dropped — so a shutdown race
+// with an in-flight synthesis is benign; call it once at process exit.
+func (e *Engine) Close() error {
+	if e.pcache == nil {
+		return nil
+	}
+	return e.pcache.Close()
 }
 
 // WithProgress installs an engine-wide default progress hook, used by
@@ -423,6 +473,12 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 	if so.PruneFacts == nil {
 		so.PruneFacts = search.NewPruneFacts()
 	}
+	if so.PersistCache == nil && e.pcache != nil {
+		// The persistent tier sits outside the request-shared cache and is
+		// scoped by the program's structural fingerprint; every worker and
+		// portfolio variant of this request shares the one view.
+		so.PersistCache = e.pcache.ForProgram(prog.MIR.Fingerprint())
+	}
 	if so.Portfolio > 1 && (so.Preempt != nil || so.Resume != nil) {
 		// Preemptible runs are single-configuration (see WithPreempt): a
 		// seed race has no single deterministic frontier to checkpoint.
@@ -453,16 +509,18 @@ func (e *Engine) synthesizePinned(ctx context.Context, prog *Program, rep *BugRe
 		OtherBugs: res.OtherBugs,
 		Seed:      res.Seed,
 		Stats: Stats{
-			Duration:         res.Duration,
-			Steps:            res.Steps,
-			States:           res.StatesCreated,
-			BranchForks:      res.BranchForks,
-			SolverQueries:    res.SolverQueries,
-			SolverCacheHits:  res.SolverHits,
-			SolverSharedHits: res.SolverSharedHits,
-			SolverWallNanos:  res.SolverWallNanos,
-			Workers:          res.Workers,
-			Interner:         expr.InternerStats(),
+			Duration:             res.Duration,
+			Steps:                res.Steps,
+			States:               res.StatesCreated,
+			BranchForks:          res.BranchForks,
+			SolverQueries:        res.SolverQueries,
+			SolverCacheHits:      res.SolverHits,
+			SolverSharedHits:     res.SolverSharedHits,
+			SolverPersistentHits: res.SolverPersistentHits,
+			SolverVerifyRejects:  res.SolverVerifyRejects,
+			SolverWallNanos:      res.SolverWallNanos,
+			Workers:              res.Workers,
+			Interner:             expr.InternerStats(),
 		},
 	}
 	if res.Preempted {
@@ -687,15 +745,17 @@ func buildFlightReport(so search.Options, rep *BugReport, res *search.Result, so
 		Trace:        so.Recorder.Events(),
 		TraceDropped: so.Recorder.Dropped(),
 		Wall: &telemetry.WallStats{
-			TotalNS:            total.Nanoseconds(),
-			SearchNS:           searchNS,
-			SolverNS:           res.SolverWallNanos,
-			SolveNS:            solveNS,
-			SolverCacheHits:    int64(res.SolverHits),
-			SolverSharedHits:   int64(res.SolverSharedHits),
-			PortfolioRequested: pfRequested,
-			PortfolioEffective: pfEffective,
-			Workers:            res.WorkerWall,
+			TotalNS:              total.Nanoseconds(),
+			SearchNS:             searchNS,
+			SolverNS:             res.SolverWallNanos,
+			SolveNS:              solveNS,
+			SolverCacheHits:      int64(res.SolverHits),
+			SolverSharedHits:     int64(res.SolverSharedHits),
+			SolverPersistentHits: int64(res.SolverPersistentHits),
+			SolverVerifyRejects:  int64(res.SolverVerifyRejects),
+			PortfolioRequested:   pfRequested,
+			PortfolioEffective:   pfEffective,
+			Workers:              res.WorkerWall,
 		},
 	}
 }
@@ -870,6 +930,12 @@ type EngineStats struct {
 	InternerHighWater int64 `json:"interner_high_water"`
 	Sweeps            int64 `json:"engine_sweeps"`
 	SweptBytes        int64 `json:"engine_swept_bytes"`
+	// PersistentCache snapshots the cross-run solver-fact store
+	// (WithPersistentCache); nil when no cache directory is configured.
+	// PersistentCacheError is why the configured store failed to open
+	// (empty otherwise) — the engine degrades to in-memory caching.
+	PersistentCache      *pcache.Stats `json:"persistent_cache,omitempty"`
+	PersistentCacheError string        `json:"persistent_cache_error,omitempty"`
 }
 
 // Stats snapshots the engine.
@@ -878,7 +944,7 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	cached := len(e.programs)
 	e.mu.Unlock()
-	return EngineStats{
+	st := EngineStats{
 		Active:            e.active.Load(),
 		BatchQueueDepth:   e.batchQueued.Load(),
 		Synthesized:       e.synthesized.Load(),
@@ -895,4 +961,12 @@ func (e *Engine) Stats() EngineStats {
 		Sweeps:            e.sweeps.Load(),
 		SweptBytes:        e.sweptBytes.Load(),
 	}
+	if e.pcache != nil {
+		pst := e.pcache.Stats()
+		st.PersistentCache = &pst
+	}
+	if e.pcacheErr != nil {
+		st.PersistentCacheError = e.pcacheErr.Error()
+	}
+	return st
 }

@@ -189,6 +189,16 @@ type Stats struct {
 	// shared cross-worker/cross-variant solver cache (0 for runs where
 	// every component was first solved by the solver that needed it).
 	SolverSharedHits int
+	// SolverPersistentHits counts component verdicts served from the
+	// engine's persistent cross-run cache (WithPersistentCache; 0 when no
+	// cache directory is configured or the run was cold).
+	// SolverVerifyRejects counts persistent entries whose stored model
+	// failed re-verification against the live terms and were discarded —
+	// nonzero values mean the cache directory holds entries from a
+	// diverged store; the run stays correct (rejects fall through to a
+	// fresh solve) but warms more slowly.
+	SolverPersistentHits int
+	SolverVerifyRejects  int
 	// SolverWallNanos is wall-clock time spent inside the constraint
 	// solver (cumulative across a resume chain, like the other counters).
 	// Wall-clock, so it varies run to run; the jobs subsystem records it

@@ -80,10 +80,11 @@ type Expr struct {
 	A, B *Expr  // operands (A for unary; A,B for binary; Cond in A for Ite)
 	T, F *Expr  // Ite branches
 
-	hash uint64  // structural hash, computed at construction
-	id   uint64  // process-unique intern ID, for identity-keyed caches
-	vars *varSet // cached free-variable set
-	mark uint64  // reclaim-generation mark; touched only inside Reclaim's
+	hash uint64    // structural hash, computed at construction
+	id   uint64    // process-unique intern ID, for identity-keyed caches
+	skey StructKey // canonical 128-bit structural fingerprint (structkey.go)
+	vars *varSet   // cached free-variable set
+	mark uint64    // reclaim-generation mark; touched only inside Reclaim's
 	// stop-the-world window (reclaim.go), never concurrently with readers
 	// of the other fields
 }

@@ -71,6 +71,7 @@ func intern(op Op, c int64, name string, a, b, t, f *Expr) *Expr {
 	}
 	e := &Expr{Op: op, C: c, Name: name, A: a, B: b, T: t, F: f, hash: h}
 	e.id = nextExprID.Add(1)
+	e.skey = structKeyParts(op, c, name, a, b, t, f)
 	switch op {
 	case OpConst:
 		e.vars = emptyVarSet

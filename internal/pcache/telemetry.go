@@ -1,0 +1,18 @@
+package pcache
+
+import "esd/internal/telemetry"
+
+var (
+	loadNanos = telemetry.NewHistogram("esd_persistent_cache_load_duration_seconds",
+		"Wall-clock cost of opening the persistent solver cache (snapshot + WAL replay + compact).", 1e-9)
+	flushNanos = telemetry.NewHistogram("esd_persistent_cache_flush_duration_seconds",
+		"Wall-clock cost of one persistent-cache compaction (snapshot rewrite + WAL reset).", 1e-9)
+	entriesLoaded = telemetry.NewCounter("esd_persistent_cache_entries_loaded_total",
+		"Persistent solver-cache entries successfully loaded at store open.")
+	loadRejects = telemetry.NewCounter("esd_persistent_cache_load_rejects_total",
+		"Persistent solver-cache records discarded at open (foreign schema, malformed, or over-cap).")
+	publishesTotal = telemetry.NewCounter("esd_persistent_cache_publishes_total",
+		"Definite solver verdicts appended to the persistent cache.")
+	droppedTotal = telemetry.NewCounter("esd_persistent_cache_dropped_total",
+		"Persistent-cache publishes dropped (per-program cap reached or append error).")
+)

@@ -114,6 +114,11 @@ type Checkpoint struct {
 	SolverHits       int   `json:"solver_hits"`
 	SolverSharedHits int   `json:"solver_shared_hits"`
 	SolverWallNS     int64 `json:"solver_wall_ns"`
+	// Persistent-tier consumption (additive fields: checkpoints written
+	// before the tier existed decode as 0, which is correct — they
+	// consumed none).
+	SolverPersistentHits int `json:"solver_persistent_hits,omitempty"`
+	SolverVerifyRejects  int `json:"solver_verify_rejects,omitempty"`
 
 	// Cross-cutting mutable collaborators.
 	Recorder *telemetry.RecorderState `json:"recorder,omitempty"`
@@ -259,10 +264,12 @@ func (s *searcher) buildCheckpoint(res *Result, detector *race.Detector) (*Check
 		PrunedCritical: res.PrunedCritical,
 		PrunedInfinite: res.PrunedInfinite,
 
-		SolverQueries:    res.SolverQueries,
-		SolverHits:       res.SolverHits,
-		SolverSharedHits: res.SolverSharedHits,
-		SolverWallNS:     res.SolverWallNanos,
+		SolverQueries:        res.SolverQueries,
+		SolverHits:           res.SolverHits,
+		SolverSharedHits:     res.SolverSharedHits,
+		SolverWallNS:         res.SolverWallNanos,
+		SolverPersistentHits: res.SolverPersistentHits,
+		SolverVerifyRejects:  res.SolverVerifyRejects,
 
 		Recorder: s.opts.Recorder.Snapshot(),
 		Race:     detector.Snapshot(),

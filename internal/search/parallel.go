@@ -119,6 +119,9 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 		// n workers stop re-solving each other's components — the
 		// solver-bound apps' parallel regression.
 		sol.Shared = opts.SharedCache
+		// The persistent cross-run tier attaches below the shared layer
+		// (same single-threaded solver, concurrency-safe store).
+		sol.Persist = opts.PersistCache
 		eng, det := pl.newVM(runCtx, opts, sol)
 		// Disjoint ID ranges keep state and object IDs unique across
 		// workers (states migrate between engines when stolen).
@@ -126,14 +129,16 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 		wopts := opts
 		wopts.Seed = opts.Seed + int64(i)*parallelSeedStride
 		w := &parallelWorker{
-			id:            i,
-			s:             newSearcher(pl, runCtx, wopts, eng, sol, start),
-			det:           det,
-			res:           &Result{Terminals: map[symex.StateStatus]int64{}},
-			putSolver:     put,
-			solHitsBase:   sol.CacheHits,
-			solSharedBase: sol.SharedHits,
-			solWallBase:   sol.WallNanos,
+			id:             i,
+			s:              newSearcher(pl, runCtx, wopts, eng, sol, start),
+			det:            det,
+			res:            &Result{Terminals: map[symex.StateStatus]int64{}},
+			putSolver:      put,
+			solHitsBase:    sol.CacheHits,
+			solSharedBase:  sol.SharedHits,
+			solPersistBase: sol.PersistentHits,
+			solRejectBase:  sol.VerifyRejects,
+			solWallBase:    sol.WallNanos,
 		}
 		w.s.route = func(st *symex.State) { r.place(w, st) }
 		workers[i] = w
@@ -144,6 +149,7 @@ func synthesizeParallel(ctx context.Context, prog *mir.Program, rep *report.Repo
 			// caller-owned): a stale attachment would leak this request's
 			// facts into the next run and pin a dead cache alive.
 			w.s.sol.Shared = nil
+			w.s.sol.Persist = nil
 			if w.putSolver != nil {
 				w.putSolver()
 			}
@@ -213,11 +219,13 @@ type parallelWorker struct {
 	det *race.Detector
 	// res absorbs the worker's quantum-level counters (terminals, prunes,
 	// other bugs); the driver folds them into the final Result.
-	res           *Result
-	putSolver     func()
-	solHitsBase   int
-	solSharedBase int
-	solWallBase   int64
+	res            *Result
+	putSolver      func()
+	solHitsBase    int
+	solSharedBase  int
+	solPersistBase int
+	solRejectBase  int
+	solWallBase    int64
 
 	picks     int64
 	pickTick  int64 // aging cadence (the sequential frontier counts per-frontier; here it is per-worker)
@@ -613,6 +621,8 @@ func (r *parallelRun) collect(workers []*parallelWorker, n int) *Result {
 		res.SolverQueries += w.s.sol.Queries - w.s.solBase
 		res.SolverHits += w.s.sol.CacheHits - w.solHitsBase
 		res.SolverSharedHits += w.s.sol.SharedHits - w.solSharedBase
+		res.SolverPersistentHits += w.s.sol.PersistentHits - w.solPersistBase
+		res.SolverVerifyRejects += w.s.sol.VerifyRejects - w.solRejectBase
 		res.SolverWallNanos += w.s.sol.WallNanos - w.solWallBase
 		res.AgingPicks += w.s.agingPicks
 		res.StepErrors += w.res.StepErrors

@@ -1,10 +1,10 @@
 package search
 
 import (
-	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"esd/internal/expr"
 	"esd/internal/symex"
 )
 
@@ -24,10 +24,14 @@ import (
 // requests for different reports. The engine creates one per synthesis
 // alongside the shared solver cache.
 //
-// Keys are exact serializations of the live stack configuration (not
-// hashes): a colliding key would silently flip a prune decision and
-// change search behavior, which is a correctness bug, not a performance
-// one.
+// Keys are 128-bit canonical fingerprints of the live stack
+// configuration, built with expr.KeyHasher — the same mixer behind
+// expr.StructKey, so keys are stable across workers, epochs, and
+// processes. This replaced the exact string serialization: a collision
+// would flip a prune decision, but at 128 bits the probability is
+// ~2^-88 even for a 2^20-configuration run — far below any hardware
+// error rate — and the fingerprint avoids allocating a fresh key string
+// per frontier state on the hot path.
 type PruneFacts struct {
 	shards [pruneShards]pruneShard
 
@@ -45,35 +49,21 @@ const maxPruneEntriesPerShard = 4096
 
 type pruneShard struct {
 	mu sync.RWMutex
-	m  map[string]bool
+	m  map[expr.StructKey]bool
 }
 
 // NewPruneFacts returns an empty shared prune memo.
 func NewPruneFacts() *PruneFacts {
 	p := &PruneFacts{}
 	for i := range p.shards {
-		p.shards[i].m = make(map[string]bool)
+		p.shards[i].m = make(map[expr.StructKey]bool)
 	}
 	return p
 }
 
-// pruneFNV hashes a key onto a shard index.
-func pruneFNV(key string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return h
-}
-
 // lookup returns a previously published verdict for the configuration.
-func (p *PruneFacts) lookup(key string) (infinite, ok bool) {
-	s := &p.shards[pruneFNV(key)%pruneShards]
+func (p *PruneFacts) lookup(key expr.StructKey) (infinite, ok bool) {
+	s := &p.shards[key.Lo%pruneShards]
 	s.mu.RLock()
 	infinite, ok = s.m[key]
 	s.mu.RUnlock()
@@ -88,8 +78,8 @@ func (p *PruneFacts) lookup(key string) (infinite, ok bool) {
 }
 
 // publish stores a verdict for the configuration.
-func (p *PruneFacts) publish(key string, infinite bool) {
-	s := &p.shards[pruneFNV(key)%pruneShards]
+func (p *PruneFacts) publish(key expr.StructKey, infinite bool) {
+	s := &p.shards[key.Lo%pruneShards]
 	s.mu.Lock()
 	if _, dup := s.m[key]; !dup && len(s.m) < maxPruneEntriesPerShard {
 		s.m[key] = infinite
@@ -117,26 +107,24 @@ func (p *PruneFacts) Stats() PruneFactsStats {
 	}
 }
 
-// pruneFactKey serializes the stack configuration the infinite-distance
+// pruneFactKey fingerprints the stack configuration the infinite-distance
 // gate depends on: every live thread's full stack of locations, in thread
-// order. Exited threads contribute nothing (the gate skips them), and the
-// separators keep frame/thread boundaries unambiguous so distinct
-// configurations cannot serialize equal.
-func pruneFactKey(st *symex.State) string {
-	var b []byte
+// order. Exited threads contribute nothing (the gate skips them), and
+// explicit frame/thread markers keep boundaries unambiguous so distinct
+// configurations cannot fingerprint equal except by 128-bit collision.
+func pruneFactKey(st *symex.State) expr.StructKey {
+	h := expr.NewKeyHasher()
 	for _, t := range st.Threads {
 		if t.Status == symex.ThreadExited {
 			continue
 		}
 		for _, l := range t.Stack() {
-			b = append(b, l.Fn...)
-			b = append(b, 0)
-			b = strconv.AppendInt(b, int64(l.Block), 10)
-			b = append(b, 0)
-			b = strconv.AppendInt(b, int64(l.Index), 10)
-			b = append(b, 1)
+			h.Str(l.Fn)
+			h.Word(uint64(int64(l.Block)))
+			h.Word(uint64(int64(l.Index)))
+			h.Word(1) // frame marker
 		}
-		b = append(b, 2)
+		h.Word(2) // thread marker
 	}
-	return string(b)
+	return h.Sum()
 }

@@ -173,6 +173,14 @@ type Options struct {
 	// variants; verdicts depend on the report's goals, so it must never
 	// cross requests.
 	PruneFacts *PruneFacts
+	// PersistCache, when non-nil, is the cross-run persistent solver fact
+	// tier (scoped by the engine to this program's fingerprint). Every
+	// solver the search uses is attached to it for the run, below the
+	// SharedCache in the lookup order. Serving persisted verdicts is
+	// deterministic for the same reason sharing is — verdicts are pure
+	// functions of the component, Sat models are re-verified on load —
+	// so a warm run is bit-identical to a cold one, just faster.
+	PersistCache solver.PersistentCache
 
 	// Preempt, when set, is polled at the top of every sequential
 	// run-loop iteration (never mid-quantum). Returning true stops the
@@ -284,6 +292,13 @@ type Result struct {
 	// Like SolverHits it varies with cache warmth and never enters the
 	// deterministic flight body.
 	SolverSharedHits int
+	// SolverPersistentHits counts component verdicts served from the
+	// persistent cross-run tier (0 when no PersistCache is attached);
+	// SolverVerifyRejects counts persistent entries discarded because
+	// their model failed re-verification. Cache-warmth counters, outside
+	// the deterministic flight body.
+	SolverPersistentHits int
+	SolverVerifyRejects  int
 	// SchedForks counts scheduling-policy forks (the sched share of the
 	// fork split; BranchForks is the symbolic-branch share).
 	SchedForks int64
@@ -445,8 +460,17 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		sol.Shared = opts.SharedCache
 		defer func() { sol.Shared = nil }()
 	}
+	if opts.PersistCache != nil {
+		// Same attach/detach discipline as SharedCache: the persistent
+		// view is scoped to this program's fingerprint, and a pooled
+		// solver must not carry it into another program's run.
+		sol.Persist = opts.PersistCache
+		defer func() { sol.Persist = nil }()
+	}
 	baseQueries, baseHits := sol.Queries, sol.CacheHits
 	baseShared := sol.SharedHits
+	basePersist := sol.PersistentHits
+	baseRejects := sol.VerifyRejects
 	baseWall := sol.WallNanos
 	eng, detector := pl.newVM(ctx, opts, sol)
 	s := newSearcher(pl, ctx, opts, eng, sol, start)
@@ -476,6 +500,8 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 		baseQueries -= resume.SolverQueries
 		baseHits -= resume.SolverHits
 		baseShared -= resume.SolverSharedHits
+		basePersist -= resume.SolverPersistentHits
+		baseRejects -= resume.SolverVerifyRejects
 		baseWall -= resume.SolverWallNS
 		s.solBase -= resume.SolverQueries
 		emit(PhaseSearch, s.front.size())
@@ -511,6 +537,8 @@ func Synthesize(ctx context.Context, prog *mir.Program, rep *report.Report, opts
 	res.SolverQueries = sol.Queries - baseQueries
 	res.SolverHits = sol.CacheHits - baseHits
 	res.SolverSharedHits = sol.SharedHits - baseShared
+	res.SolverPersistentHits = sol.PersistentHits - basePersist
+	res.SolverVerifyRejects = sol.VerifyRejects - baseRejects
 	res.SolverWallNanos = sol.WallNanos - baseWall
 	res.Pruned = res.PrunedCritical + res.PrunedInfinite
 	res.AgingPicks = s.agingPicks

@@ -6,16 +6,22 @@ import (
 	"esd/internal/expr"
 )
 
-// TestCacheFlushedOnEpochChange: a warm solver's identity-keyed cache is
-// flushed when the interner epoch advances (a reclaim sweep ran), so a
-// pooled solver cannot accumulate dead-epoch entries forever. Correctness
-// of the answers must be unaffected.
-func TestCacheFlushedOnEpochChange(t *testing.T) {
-	x := expr.Var("epoch-flush-x")
-	cs := []*expr.Expr{
-		expr.Binary(expr.OpGt, x, expr.Const(10)),
-		expr.Binary(expr.OpLt, x, expr.Const(20)),
+// TestCacheSurvivesEpochChange: the solver cache is keyed by canonical
+// structural keys, not intern identity, so a reclaim sweep — which
+// re-mints every intern ID — must NOT flush it: the first post-sweep
+// query for the same constraints is a hit. (This inverts the pre-refactor
+// identity-keyed behavior, where the sweep forced a flush.) Entries hold
+// only plain name→value models, so surviving the sweep pins no swept-era
+// terms.
+func TestCacheSurvivesEpochChange(t *testing.T) {
+	build := func() []*expr.Expr {
+		x := expr.Var("epoch-survive-x")
+		return []*expr.Expr{
+			expr.Binary(expr.OpGt, x, expr.Const(10)),
+			expr.Binary(expr.OpLt, x, expr.Const(20)),
+		}
 	}
+	cs := build()
 	s := New()
 	if res, _ := s.Check(cs); res != Sat {
 		t.Fatalf("warmup check: %v", res)
@@ -28,21 +34,29 @@ func TestCacheFlushedOnEpochChange(t *testing.T) {
 		t.Fatal("setup: repeat query did not hit the warm cache")
 	}
 
-	// Sweep (keeping the constraints alive as roots) and re-query: the
-	// first post-sweep Check must miss (flushed cache) and still answer
-	// Sat; the one after that hits the refilled cache.
-	expr.Reclaim(cs...)
+	// Sweep with no roots: the constraint terms are reclaimed and rebuilt
+	// from scratch, so their intern IDs change but their structural keys
+	// do not. The warm solver must hit on the very first post-sweep query.
+	oldIDs := []uint64{cs[0].ID(), cs[1].ID()}
+	cs = nil
+	expr.Reclaim()
+	cs = build()
+	if cs[0].ID() == oldIDs[0] && cs[1].ID() == oldIDs[1] {
+		t.Fatal("sweep re-minted no intern IDs; the test perturbs nothing")
+	}
 	hits = s.CacheHits
-	if res, model := s.Check(cs); res != Sat || model == nil {
+	res, model := s.Check(cs)
+	if res != Sat || model == nil {
 		t.Fatalf("post-sweep check: %v", res)
 	}
-	if s.CacheHits != hits {
-		t.Error("cache survived the epoch change (hit on first post-sweep query)")
-	}
-	if res, _ := s.Check(cs); res != Sat {
-		t.Fatal("refilled-cache check not sat")
-	}
 	if s.CacheHits <= hits {
-		t.Error("cache not refilled after the epoch flush")
+		t.Error("structural-keyed cache missed after the epoch change")
+	}
+	// The served model must satisfy the rebuilt terms.
+	for _, c := range cs {
+		v, err := c.Eval(completeModel(model, c))
+		if err != nil || v == 0 {
+			t.Fatalf("post-sweep model %v does not satisfy %v (err=%v)", model, c, err)
+		}
 	}
 }

@@ -18,34 +18,28 @@ import (
 // parallel regression.
 //
 // Sharing is sound and deterministic because a component verdict is a
-// pure function of the component: the key is the exact sorted intern-ID
-// set of its conjuncts (terms are globally interned, so pointer-distinct
-// duplicates cannot alias), and the backtracking search that decides a
-// component is deterministic with a fixed node budget, so whichever
-// solver publishes first publishes the same answer every other solver
-// would have computed. Only definite verdicts (Sat with a verified
-// model, Unsat) are published: Unknown is a budget artifact, not a fact.
-// Model maps are shared read-only, the same invariant the private cache
-// already relies on.
+// pure function of the component: the key is the exact sorted slice of
+// the conjuncts' canonical structural keys (expr.StructKey — stable
+// across interner epochs, restarts, and processes), and the backtracking
+// search that decides a component is deterministic with a fixed node
+// budget, so whichever solver publishes first publishes the same answer
+// every other solver would have computed. Only definite verdicts (Sat
+// with a verified model, Unsat) are published: Unknown is a budget
+// artifact, not a fact. Model maps are shared read-only, the same
+// invariant the private cache already relies on.
 //
-// Epochs: intern IDs are never reused across reclaim sweeps, so stale
-// entries cannot alias new terms — but they would pin swept-era models
-// forever, so lookups flush the cache when the interner epoch moves.
-// Within one request the epoch cannot move at all: every search holds an
-// expr.Pin for its lifetime, which is the run pin that keeps a sweep
-// from invalidating the cache mid-search. The epoch check therefore only
-// fires on caches that outlive a request (none today; the persistent
-// cross-run cache of ROADMAP item 5 is the design this prototypes).
+// Structural keys make the cache epoch-free: entries hold no term
+// pointers (models are plain name→value maps), and a term re-interned
+// after a reclaim sweep hashes to the same key, so a sweep invalidates
+// nothing. The epoch-flush machinery the identity-keyed version carried
+// is gone; the cache's lifetime is bounded by the request that owns it.
 type SharedCache struct {
 	shards [sharedShards]sharedShard
-	// epoch is the interner epoch the cache was filled in, and epochMu
-	// serializes the flush when it moves (lookups read it lock-free).
-	epoch   atomic.Uint64
-	epochMu sync.Mutex
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	publishes atomic.Int64
+	evictions atomic.Int64
 }
 
 const sharedShards = 32
@@ -59,50 +53,27 @@ type sharedShard struct {
 // total). Past the cap, publishes are dropped rather than evicting:
 // eviction under concurrent readers buys complexity for a case (a single
 // run solving >128k distinct components) that budget exhaustion reaches
-// first.
+// first. Dropped publishes are counted (Evictions,
+// esd_solver_shared_evictions_total) so a hit-rate collapse at the cap is
+// diagnosable instead of silent.
 const maxSharedEntriesPerShard = 4096
 
-// NewSharedCache returns an empty shared fact layer at the current
-// interner epoch.
+// NewSharedCache returns an empty shared fact layer.
 func NewSharedCache() *SharedCache {
 	c := &SharedCache{}
-	c.epoch.Store(expr.Epoch())
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64][]cacheEntry)
 	}
 	return c
 }
 
-// checkEpoch flushes the cache if a reclaim sweep completed since it was
-// filled. Searches pin the interner for their whole run, so this never
-// fires mid-request; it exists for caches held across requests.
-func (c *SharedCache) checkEpoch() {
-	ep := expr.Epoch()
-	if c.epoch.Load() == ep {
-		return
-	}
-	c.epochMu.Lock()
-	defer c.epochMu.Unlock()
-	if c.epoch.Load() == ep {
-		return
-	}
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		s.m = make(map[uint64][]cacheEntry)
-		s.mu.Unlock()
-	}
-	c.epoch.Store(ep)
-}
-
 // lookup returns a previously published verdict for the component with
-// exactly these intern IDs.
-func (c *SharedCache) lookup(key uint64, ids []uint64) (cacheEntry, bool) {
-	c.checkEpoch()
+// exactly these structural keys.
+func (c *SharedCache) lookup(key uint64, keys []expr.StructKey) (cacheEntry, bool) {
 	s := &c.shards[key%sharedShards]
 	s.mu.RLock()
 	chain := s.m[key]
-	i := matchEntry(chain, ids)
+	i := matchEntry(chain, keys)
 	var ent cacheEntry
 	if i >= 0 {
 		ent = chain[i]
@@ -122,15 +93,14 @@ func (c *SharedCache) lookup(key uint64, ids []uint64) (cacheEntry, bool) {
 // model verified by concrete evaluation (checkComponent's invariant);
 // Unknown results are rejected — they reflect the publisher's node
 // budget, not a property of the component.
-func (c *SharedCache) publish(key uint64, ids []uint64, res Result, model map[string]int64) {
+func (c *SharedCache) publish(key uint64, keys []expr.StructKey, res Result, model map[string]int64) {
 	if res == Unknown {
 		return
 	}
-	c.checkEpoch()
 	s := &c.shards[key%sharedShards]
 	s.mu.Lock()
 	chain := s.m[key]
-	if i := matchEntry(chain, ids); i >= 0 {
+	if i := matchEntry(chain, keys); i >= 0 {
 		// A sibling raced us to the same component; verdicts are equal by
 		// determinism, so keep the incumbent.
 		s.mu.Unlock()
@@ -138,9 +108,11 @@ func (c *SharedCache) publish(key uint64, ids []uint64, res Result, model map[st
 	}
 	if len(s.m) >= maxSharedEntriesPerShard {
 		s.mu.Unlock()
+		c.evictions.Add(1)
+		sharedEvictions.Inc()
 		return
 	}
-	s.m[key] = append(chain, cacheEntry{ids: ids, res: res, model: model})
+	s.m[key] = append(chain, cacheEntry{keys: keys, res: res, model: model})
 	s.mu.Unlock()
 	c.publishes.Add(1)
 	sharedPublishes.Inc()
@@ -153,6 +125,9 @@ type SharedCacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Publishes int64 `json:"publishes"`
+	// Evictions counts publishes dropped at the per-shard cap — verdicts
+	// the run solved but could not share.
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached component verdicts.
 	Entries int64 `json:"entries"`
 }
@@ -172,6 +147,7 @@ func (c *SharedCache) Stats() SharedCacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Publishes: c.publishes.Load(),
+		Evictions: c.evictions.Load(),
 		Entries:   entries,
 	}
 }

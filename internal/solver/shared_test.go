@@ -79,20 +79,20 @@ func TestSharedCacheCrossSolver(t *testing.T) {
 // published as a fact.
 func TestSharedCacheRejectsUnknown(t *testing.T) {
 	sc := NewSharedCache()
-	key, ids := identKey(sharedRange("unk", 1))
-	sc.publish(key, ids, Unknown, nil)
+	key, keys := structKey(sharedRange("unk", 1))
+	sc.publish(key, keys, Unknown, nil)
 	if st := sc.Stats(); st.Publishes != 0 || st.Entries != 0 {
 		t.Fatalf("Unknown was published: %+v", st)
 	}
-	if _, ok := sc.lookup(key, ids); ok {
+	if _, ok := sc.lookup(key, keys); ok {
 		t.Fatal("Unknown verdict retrievable from shared cache")
 	}
 }
 
-// TestSharedCacheEpochFlush: entries from a pre-sweep epoch must not
-// survive a reclaim (they would pin swept-era models), mirroring the
-// private cache's epoch behavior.
-func TestSharedCacheEpochFlush(t *testing.T) {
+// TestSharedCacheSurvivesEpoch: shared entries are keyed structurally and
+// hold no term pointers, so a reclaim sweep must NOT flush them — terms
+// rebuilt after the sweep (fresh intern IDs, same structure) still hit.
+func TestSharedCacheSurvivesEpoch(t *testing.T) {
 	sc := NewSharedCache()
 	cs := sharedRange("epoch-shared", 1)
 	s := New()
@@ -103,17 +103,44 @@ func TestSharedCacheEpochFlush(t *testing.T) {
 	if sc.Stats().Entries == 0 {
 		t.Fatal("setup: nothing published")
 	}
-	expr.Reclaim(cs...)
-	key, ids := identKey(cs)
-	if _, ok := sc.lookup(key, ids); ok {
-		t.Fatal("pre-sweep entry survived the epoch flush")
+	cs = nil
+	expr.Reclaim()
+	// Rebuild the same components from scratch; structural keys are
+	// unchanged, so the pre-sweep entries answer.
+	cs = sharedRange("epoch-shared", 1)
+	key, keys := structKey(cs)
+	ent, ok := sc.lookup(key, keys)
+	if !ok {
+		t.Fatal("structurally keyed entry lost across the epoch sweep")
 	}
-	// The flushed cache refills and keeps answering.
-	if res, _ := s.Check(cs); res != Sat {
-		t.Fatal("post-sweep check not sat")
+	if ent.res != Sat {
+		t.Fatalf("post-sweep verdict: %v, want sat", ent.res)
 	}
-	if sc.Stats().Entries == 0 {
-		t.Error("cache did not refill after the epoch flush")
+	for _, c := range cs {
+		v, err := c.Eval(completeModel(ent.model, c))
+		if err != nil || v == 0 {
+			t.Fatalf("post-sweep model %v does not satisfy %v (err=%v)", ent.model, c, err)
+		}
+	}
+}
+
+// TestSharedCacheEvictionsCounted: publishes dropped at the per-shard cap
+// are counted instead of silently vanishing.
+func TestSharedCacheEvictionsCounted(t *testing.T) {
+	sc := NewSharedCache()
+	// Fill one shard to its cap by publishing synthetic entries that all
+	// land in shard 0 (key ≡ 0 mod sharedShards), then overflow it.
+	for i := 0; i <= maxSharedEntriesPerShard; i++ {
+		k := expr.StructKey{Hi: uint64(i) + 1, Lo: uint64(i) * 7}
+		bucket := uint64(i) * sharedShards // shard 0
+		sc.publish(bucket, []expr.StructKey{k}, Unsat, nil)
+	}
+	st := sc.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions counted at the cap: %+v", st)
+	}
+	if st.Publishes != maxSharedEntriesPerShard {
+		t.Fatalf("publishes %d, want %d (cap)", st.Publishes, maxSharedEntriesPerShard)
 	}
 }
 

@@ -64,18 +64,17 @@ type Solver struct {
 	// answering Unknown.
 	MaxNodes int
 
-	// cache memoizes query results by the identity of the constraint set.
-	// Terms are interned (internal/expr), so the sorted slice of intern IDs
-	// is an exact key: no hash-collision false hits, no structural
-	// comparison. Entries are stored both for full queries and for each
-	// independent component, so extending a path condition by one conjunct
-	// re-solves only the component the new conjunct touches.
+	// cache memoizes query results by the canonical structural key of the
+	// constraint set (expr.StructKey): the sorted slice of 128-bit
+	// structural fingerprints of the conjuncts. Structural keys — unlike
+	// the intern IDs this cache used to be keyed on — survive interner
+	// epoch sweeps, so a warm pooled solver keeps its facts across
+	// reclaims; a false hit requires a full 128-bit collision between
+	// distinct terms, which is negligible against every other failure mode.
+	// Entries are stored both for full queries and for each independent
+	// component, so extending a path condition by one conjunct re-solves
+	// only the component the new conjunct touches.
 	cache map[uint64][]cacheEntry
-	// epoch is the interner epoch the cache was filled in. Intern IDs are
-	// never reused, so entries from a reclaimed epoch cannot alias new
-	// terms — but they are dead weight that would pin swept-era models
-	// forever, so Check flushes the cache when the epoch moves.
-	epoch uint64
 
 	// Shared, when non-nil, is the cross-solver fact layer of the current
 	// run (see SharedCache): consulted after the private cache misses on a
@@ -84,6 +83,14 @@ type Solver struct {
 	// solver returns to a pool.
 	Shared *SharedCache
 
+	// Persist, when non-nil, is the cross-run persistent fact tier:
+	// consulted after both the private cache and Shared miss on a
+	// component, published into after a fresh definite verdict. Sat models
+	// served from it are re-verified by concrete evaluation before being
+	// trusted (see checkComponent), so a corrupt or stale entry degrades
+	// to a miss instead of poisoning the run.
+	Persist PersistentCache
+
 	// Stats
 	Queries   int
 	CacheHits int
@@ -91,6 +98,14 @@ type Solver struct {
 	// attached SharedCache (the per-worker reuse attribution; the cache's
 	// own counters aggregate across all attached solvers).
 	SharedHits int
+	// PersistentHits counts component answers served from the attached
+	// persistent tier (after surviving verify-on-load).
+	PersistentHits int
+	// VerifyRejects counts persistent-tier Sat entries whose model failed
+	// re-verification and were discarded. A nonzero count means the store
+	// holds entries from a different term semantics (or corruption) —
+	// harmless for correctness, fatal for its hit rate.
+	VerifyRejects int
 	// WallNanos accumulates wall time spent inside Check. Search reads its
 	// delta around every query batch to attribute synthesis wall time to the
 	// solver versus the search loop.
@@ -98,14 +113,14 @@ type Solver struct {
 }
 
 type cacheEntry struct {
-	ids   []uint64 // sorted intern IDs of the constraint set
+	keys  []expr.StructKey // sorted structural keys of the constraint set
 	res   Result
 	model map[string]int64
 }
 
 // New returns a Solver with default limits.
 func New() *Solver {
-	return &Solver{MaxNodes: 20000, cache: make(map[uint64][]cacheEntry), epoch: expr.Epoch()}
+	return &Solver{MaxNodes: 20000, cache: make(map[uint64][]cacheEntry)}
 }
 
 // interval is a closed integer range.
@@ -249,19 +264,14 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 		s.WallNanos += ns
 		solverWall.Add(ns)
 	}()
-	if ep := expr.Epoch(); ep != s.epoch {
-		// A reclaim sweep happened since the cache was filled: its entries
-		// describe terms from a reclaimed epoch. Flush rather than let a
-		// warm pooled solver accumulate dead-epoch entries forever.
-		s.epoch = ep
-		if len(s.cache) > 0 {
-			s.cache = make(map[uint64][]cacheEntry)
-		}
-	}
+	// No epoch flush: cache keys are structural (expr.StructKey), not
+	// intern identities, so entries remain valid — and keep hitting — when
+	// a reclaim sweep re-mints every term. Models hold plain name→value
+	// maps and pin no swept-era term pointers.
 	s.Queries++
 	solverQueries.Inc()
-	key, ids := identKey(constraints)
-	if ent, ok := s.cacheGet(key, ids); ok {
+	key, keys := structKey(constraints)
+	if ent, ok := s.cacheGet(key, keys); ok {
 		s.CacheHits++
 		queryHits.Inc()
 		return ent.res, ent.model
@@ -272,14 +282,14 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	// Trivial scan first.
 	for _, c := range cs {
 		if v, ok := c.IsConst(); ok && v == 0 {
-			s.cachePut(key, ids, Unsat, nil)
+			s.cachePut(key, keys, Unsat, nil)
 			return Unsat, nil
 		}
 	}
 	cs = dropTrue(cs)
 	if len(cs) == 0 {
 		model := map[string]int64{}
-		s.cachePut(key, ids, Sat, model)
+		s.cachePut(key, keys, Sat, model)
 		return Sat, model
 	}
 
@@ -309,27 +319,53 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, map[string]int64) {
 	// by concrete evaluation before it was cached (checkComponent), and
 	// components have disjoint variable sets, so the merged model satisfies
 	// the conjunction by construction.
-	s.cachePut(key, ids, res, model)
+	s.cachePut(key, keys, res, model)
 	return res, model
 }
 
 // checkComponent decides one variable-connected constraint group, with its
-// own cache entry keyed by the group's identity.
+// own cache entry keyed by the group's canonical structural key. The tier
+// order is private → shared (this run's workers) → persistent (cross-run,
+// verify-on-load) → solve.
 func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
-	key, ids := identKey(cs)
-	if ent, ok := s.cacheGet(key, ids); ok {
+	key, keys := structKey(cs)
+	if ent, ok := s.cacheGet(key, keys); ok {
 		s.CacheHits++
 		componentHits.Inc()
 		return ent.res, ent.model
 	}
 	componentMisses.Inc()
 	if s.Shared != nil {
-		if ent, ok := s.Shared.lookup(key, ids); ok {
+		if ent, ok := s.Shared.lookup(key, keys); ok {
 			// A sibling solver already decided this component. Adopt the
 			// verdict into the private cache so repeats stay lock-free.
 			s.SharedHits++
-			s.cachePut(key, ids, ent.res, ent.model)
+			s.cachePut(key, keys, ent.res, ent.model)
 			return ent.res, ent.model
+		}
+	}
+	if s.Persist != nil {
+		if res, model, ok := s.Persist.Lookup(keys); ok {
+			// Cross-run entry. Sat models are re-verified by concrete
+			// evaluation against the *actual* terms before being trusted:
+			// a corrupt, stale, or key-colliding entry becomes a counted
+			// miss, never a wrong answer — the SynFuzz-style safety
+			// argument (cheap answers are fine when replay re-checks them).
+			// Unsat needs no model and cannot be re-verified; its safety
+			// rests on the 128-bit key width.
+			if res == Unsat || modelSatisfies(cs, model) {
+				s.PersistentHits++
+				persistentHits.Inc()
+				s.cachePut(key, keys, res, model)
+				if s.Shared != nil {
+					s.Shared.publish(key, keys, res, model)
+				}
+				return res, model
+			}
+			s.VerifyRejects++
+			persistVerifyRejects.Inc()
+		} else {
+			persistentMisses.Inc()
 		}
 	}
 	st := &searchState{
@@ -345,27 +381,36 @@ func (s *Solver) checkComponent(cs []*expr.Expr) (Result, map[string]int64) {
 		}
 	}
 	res, model := st.search(cs)
-	if res == Sat {
+	if res == Sat && !modelSatisfies(cs, model) {
 		// Verify before caching: a bogus model must not enter the cache as
 		// Sat (a single-conjunct component shares its cache key with the
 		// full query, so an unverified entry would shadow the fail-closed
 		// answer on repeat queries).
-		for _, c := range cs {
-			v, err := c.Eval(completeModel(model, c))
-			if err != nil || v == 0 {
-				res, model = Unknown, nil
-				break
-			}
-		}
+		res, model = Unknown, nil
 	}
-	s.cachePut(key, ids, res, model)
+	s.cachePut(key, keys, res, model)
 	if s.Shared != nil {
 		// Publish only after verification: the shared layer carries the
 		// same "Sat entries hold verified models" invariant as the private
 		// cache (publish drops Unknown itself).
-		s.Shared.publish(key, ids, res, model)
+		s.Shared.publish(key, keys, res, model)
+	}
+	if s.Persist != nil && res != Unknown {
+		s.Persist.Publish(keys, res, model)
 	}
 	return res, model
+}
+
+// modelSatisfies reports whether the model makes every conjunct true under
+// concrete evaluation (unpinned variables default to zero).
+func modelSatisfies(cs []*expr.Expr, model map[string]int64) bool {
+	for _, c := range cs {
+		v, err := c.Eval(completeModel(model, c))
+		if err != nil || v == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // partition splits conjuncts into connected components of the
@@ -446,42 +491,49 @@ func completeModel(model map[string]int64, c *expr.Expr) map[string]int64 {
 	return env
 }
 
-// identKey canonicalizes a constraint set to its sorted, deduplicated
-// intern-ID slice plus a hash of it.
-func identKey(cs []*expr.Expr) (uint64, []uint64) {
-	ids := make([]uint64, len(cs))
+// structKey canonicalizes a constraint set to its sorted, deduplicated
+// structural-key slice plus a 64-bit bucket hash of it. The slice is the
+// exact cache key (compared in full by matchEntry); the bucket hash only
+// picks the chain. Because structural keys are stable across interner
+// epochs, restarts, and processes, the same constraint set always
+// canonicalizes to the same key everywhere — the property the shared and
+// persistent tiers are built on.
+func structKey(cs []*expr.Expr) (uint64, []expr.StructKey) {
+	keys := make([]expr.StructKey, len(cs))
 	for i, c := range cs {
-		ids[i] = c.ID()
+		keys[i] = c.StructuralKey()
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	// Deduplicate: a repeated conjunct is the same constraint.
 	w := 0
-	for i, id := range ids {
-		if i == 0 || id != ids[w-1] {
-			ids[w] = id
+	for i, k := range keys {
+		if i == 0 || k != keys[w-1] {
+			keys[w] = k
 			w++
 		}
 	}
-	ids = ids[:w]
+	keys = keys[:w]
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
-	for _, id := range ids {
-		h ^= id
+	for _, k := range keys {
+		h ^= k.Hi
+		h *= prime
+		h ^= k.Lo
 		h *= prime
 	}
-	return h, ids
+	return h, keys
 }
 
-// matchEntry returns the index of the entry with exactly these ids in the
-// chain, or -1.
-func matchEntry(chain []cacheEntry, ids []uint64) int {
+// matchEntry returns the index of the entry with exactly these structural
+// keys in the chain, or -1.
+func matchEntry(chain []cacheEntry, keys []expr.StructKey) int {
 outer:
 	for i, ent := range chain {
-		if len(ent.ids) != len(ids) {
+		if len(ent.keys) != len(keys) {
 			continue
 		}
-		for j, id := range ids {
-			if ent.ids[j] != id {
+		for j, k := range keys {
+			if ent.keys[j] != k {
 				continue outer
 			}
 		}
@@ -490,23 +542,23 @@ outer:
 	return -1
 }
 
-func (s *Solver) cacheGet(key uint64, ids []uint64) (cacheEntry, bool) {
+func (s *Solver) cacheGet(key uint64, keys []expr.StructKey) (cacheEntry, bool) {
 	chain := s.cache[key]
-	if i := matchEntry(chain, ids); i >= 0 {
+	if i := matchEntry(chain, keys); i >= 0 {
 		return chain[i], true
 	}
 	return cacheEntry{}, false
 }
 
-func (s *Solver) cachePut(key uint64, ids []uint64, res Result, model map[string]int64) {
-	// Upsert: a full query and its single component share one id-key;
+func (s *Solver) cachePut(key uint64, keys []expr.StructKey, res Result, model map[string]int64) {
+	// Upsert: a full query and its single component share one key slice;
 	// keeping one entry per key avoids duplicates and shadowing.
 	chain := s.cache[key]
-	if i := matchEntry(chain, ids); i >= 0 {
-		chain[i] = cacheEntry{ids: ids, res: res, model: model}
+	if i := matchEntry(chain, keys); i >= 0 {
+		chain[i] = cacheEntry{keys: keys, res: res, model: model}
 		return
 	}
-	s.cache[key] = append(chain, cacheEntry{ids: ids, res: res, model: model})
+	s.cache[key] = append(chain, cacheEntry{keys: keys, res: res, model: model})
 }
 
 // flatten splits top-level logical-ands into separate conjuncts and drops
@@ -786,11 +838,16 @@ func linAllowed(op expr.Op, lin linear) (string, interval, bool) {
 }
 
 // propagate tightens domains from linear constraints and discharges folded
-// constraints. Returns the remaining constraint set.
+// constraints. Returns the remaining constraint set. The caller's slice is
+// left untouched: callers re-search, re-split, and re-verify the set they
+// passed in, so filtering it in place would silently weaken those later
+// passes (dropped conjuncts vanish, compacted ones duplicate) and let an
+// unsound Sat survive verification.
 func (st *searchState) propagate(cs []*expr.Expr) ([]*expr.Expr, Result) {
 	if refuteOpposing(cs) {
 		return nil, Unsat
 	}
+	cs = append(make([]*expr.Expr, 0, len(cs)), cs...)
 	for rounds := 0; ; rounds++ {
 		if rounds >= maxPropagateRounds {
 			return cs, Unknown // capped out: let the case split decide

@@ -247,3 +247,59 @@ func TestModelString(t *testing.T) {
 		t.Fatalf("Model() = %q", s)
 	}
 }
+
+// divisionLadder is the ls4 component shape that once leaked an unsound Sat
+// into every cache tier: linear range bounds (which propagation folds into
+// the domain and drops) plus a ladder of division guards where (x/8) <= 8
+// and (x/8) > 8 are jointly unsatisfiable.
+func divisionLadder() []*expr.Expr {
+	div8 := expr.Binary(expr.OpDiv, v("x"), c(8))
+	cs := []*expr.Expr{
+		expr.Binary(expr.OpGe, v("x"), c(8)),
+		expr.Binary(expr.OpLe, v("x"), c(1<<40)),
+	}
+	for k := int64(1); k <= 8; k++ {
+		cs = append(cs, expr.Binary(expr.OpGt, div8, c(k)))
+	}
+	return append(cs, expr.Binary(expr.OpLe, div8, c(8)))
+}
+
+// TestDivisionLadderNotSat pins the end-to-end soundness of the ladder:
+// whatever the budget allows, Check must never answer Sat for it.
+func TestDivisionLadderNotSat(t *testing.T) {
+	s := New()
+	if res, model := s.Check(divisionLadder()); res == Sat {
+		t.Fatalf("unsat division component answered Sat with model %v", model)
+	}
+}
+
+// TestPropagateLeavesInputIntact pins the fix for the cache-poisoning bug
+// the ladder exposed: propagate used to filter the caller's slice in place,
+// so once it folded the linear bounds the caller was left holding a
+// compacted set with stale duplicates in the tail. search's bisection
+// fallback re-searches the slice it was handed and checkComponent
+// re-verifies models against it, so the scramble silently weakened both —
+// an unsound Sat survived verification and was published under the pristine
+// structural keys. The caller's slice must come back element-for-element
+// identical.
+func TestPropagateLeavesInputIntact(t *testing.T) {
+	cs := divisionLadder()
+	orig := append([]*expr.Expr(nil), cs...)
+	st := &searchState{
+		solver:  New(),
+		budget:  1000,
+		domains: map[string]interval{"x": fullInterval()},
+	}
+	remaining, res := st.propagate(cs)
+	if res == Sat {
+		t.Fatalf("propagate answered Sat for an unsat ladder")
+	}
+	if len(remaining) >= len(cs) && res == Unknown {
+		t.Fatalf("propagate folded nothing: the test no longer exercises the in-place filter")
+	}
+	for i := range orig {
+		if cs[i] != orig[i] {
+			t.Fatalf("propagate mutated the caller's slice at %d: got %v, want %v", i, cs[i], orig[i])
+		}
+	}
+}

@@ -21,14 +21,22 @@ var (
 		"Conjuncts per independence-partition component decided by Check.", 1)
 
 	// The shared layer's lookups happen only on private-component misses,
-	// so shared hits+misses ≤ component misses by construction.
+	// so shared hits+misses ≤ component misses by construction; the
+	// persistent tier sits below shared, so persistent hits+misses ≤
+	// shared misses.
 	sharedPublishes = telemetry.NewCounter("esd_solver_shared_publishes_total",
 		"Definite component verdicts published into shared cross-worker fact caches.")
+	sharedEvictions = telemetry.NewCounter("esd_solver_shared_evictions_total",
+		"Shared-cache publishes dropped at the per-shard entry cap (solved verdicts the run could not share).")
+	persistVerifyRejects = telemetry.NewCounter("esd_solver_persistent_verify_rejects_total",
+		"Persistent-tier Sat entries whose model failed re-verification by concrete evaluation and were discarded.")
 
-	queryHits       = solverCacheHits.With("query")
-	queryMisses     = solverCacheMisses.With("query")
-	componentHits   = solverCacheHits.With("component")
-	componentMisses = solverCacheMisses.With("component")
-	sharedHits      = solverCacheHits.With("shared")
-	sharedMisses    = solverCacheMisses.With("shared")
+	queryHits        = solverCacheHits.With("query")
+	queryMisses      = solverCacheMisses.With("query")
+	componentHits    = solverCacheHits.With("component")
+	componentMisses  = solverCacheMisses.With("component")
+	sharedHits       = solverCacheHits.With("shared")
+	sharedMisses     = solverCacheMisses.With("shared")
+	persistentHits   = solverCacheHits.With("persistent")
+	persistentMisses = solverCacheMisses.With("persistent")
 )

@@ -176,6 +176,15 @@ type WallStats struct {
 	// from the request's shared cross-worker fact cache (warmth-dependent
 	// like cache hits, hence wall-section only).
 	SolverSharedHits int64 `json:"solver_shared_hits,omitempty"`
+	// SolverPersistentHits counts component verdicts served from the
+	// cross-run persistent cache; SolverVerifyRejects counts persistent
+	// entries whose model failed re-verification against the live terms
+	// and were re-solved. Both depend on how warm the cache directory is
+	// (a cold run reports zeros), hence Wall-section only — which is what
+	// keeps a persistent-warm run's DeterministicJSON byte-identical to a
+	// cold run's.
+	SolverPersistentHits int64 `json:"solver_persistent_hits,omitempty"`
+	SolverVerifyRejects  int64 `json:"solver_verify_rejects,omitempty"`
 	// PortfolioRequested/PortfolioEffective record a portfolio race's
 	// admission decision: the k the caller asked for and the k that
 	// actually raced after clamping to the cores available alongside the

@@ -1,0 +1,120 @@
+package esd_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"esd"
+)
+
+// synthCached runs one listing1 synthesis on an engine with (or without)
+// a persistent cache attached and returns the result and flight report.
+func synthCached(t *testing.T, eng *esd.Engine) (*esd.Result, *esd.FlightReport) {
+	t.Helper()
+	prog, rep := appProgReport(t, "listing1")
+	res, err := eng.Synthesize(context.Background(), prog, rep,
+		esd.WithBudget(time.Minute), esd.WithSeed(1), esd.WithTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("listing1 synthesis did not reproduce the bug")
+	}
+	return res, res.Report()
+}
+
+// TestPersistentCacheWarmDeterminism is the warm-cache determinism
+// golden: a cold run and a persistent-warm run (fresh engine, same cache
+// directory, simulating a process restart) must produce byte-identical
+// synthesized executions and DeterministicJSON — the warm run may only
+// be faster, never different. The warm run must also actually be warm:
+// persistent hits observed, publishes on disk.
+func TestPersistentCacheWarmDeterminism(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := esd.New(esd.WithPersistentCache(dir))
+	if err := cold.PersistentCacheError(); err != nil {
+		t.Fatal(err)
+	}
+	resCold, frCold := synthCached(t, cold)
+	if resCold.Stats.SolverPersistentHits != 0 {
+		t.Errorf("cold run reported %d persistent hits against an empty store", resCold.Stats.SolverPersistentHits)
+	}
+	st := cold.Stats()
+	if st.PersistentCache == nil || st.PersistentCache.Publishes == 0 {
+		t.Fatalf("cold run published nothing to the persistent store: %+v", st.PersistentCache)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := esd.New(esd.WithPersistentCache(dir))
+	if err := warm.PersistentCacheError(); err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	resWarm, frWarm := synthCached(t, warm)
+	if resWarm.Stats.SolverPersistentHits == 0 {
+		t.Error("warm run took no persistent hits")
+	}
+	if resWarm.Stats.SolverVerifyRejects != 0 {
+		t.Errorf("warm run rejected %d of its own store's models on re-verification", resWarm.Stats.SolverVerifyRejects)
+	}
+
+	exCold, err := resCold.Execution.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exWarm, err := resWarm.Execution.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exCold, exWarm) {
+		t.Errorf("synthesized executions differ cold vs persistent-warm:\n--- cold ---\n%s\n--- warm ---\n%s", exCold, exWarm)
+	}
+	dCold, err := frCold.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dWarm, err := frWarm.DeterministicJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dCold, dWarm) {
+		t.Errorf("DeterministicJSON differs cold vs persistent-warm:\n--- cold ---\n%s\n--- warm ---\n%s", dCold, dWarm)
+	}
+	// The warmth must be visible where it belongs: the stripped Wall
+	// section of the live report.
+	if frWarm.Wall == nil || frWarm.Wall.SolverPersistentHits == 0 {
+		t.Error("warm run's Wall section records no persistent hits")
+	}
+}
+
+// TestPersistentCacheOpenFailureDegrades pins the failure mode: an
+// unopenable cache directory must not break synthesis, only surface
+// through PersistentCacheError and the stats payload.
+func TestPersistentCacheOpenFailureDegrades(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := esd.New(esd.WithPersistentCache(filepath.Join(blocker, "cache")))
+	if eng.PersistentCacheError() == nil {
+		t.Fatal("PersistentCacheError() = nil for an unopenable directory")
+	}
+	if st := eng.Stats(); st.PersistentCacheError == "" || st.PersistentCache != nil {
+		t.Errorf("stats do not reflect the degraded store: %+v", st)
+	}
+	res, _ := synthCached(t, eng)
+	if res.Stats.SolverPersistentHits != 0 {
+		t.Error("degraded engine reported persistent hits")
+	}
+	if err := eng.Close(); err != nil {
+		t.Errorf("Close on a degraded engine: %v", err)
+	}
+}
